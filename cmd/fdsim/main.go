@@ -1,0 +1,155 @@
+// Command fdsim runs a full-system simulation — cluster formation, the
+// three-round FDS, and inter-cluster failure-report forwarding (or one of
+// the baseline detectors) — over a random field, injects crashes, and
+// prints a summary: cluster census, per-victim completeness and detection
+// latency, false suspicions, message counts, and energy expenditure.
+//
+// Usage:
+//
+//	fdsim [-nodes 100] [-field 500] [-p 0.1] [-epochs 12] [-crashes 3]
+//	      [-crash-epoch 4] [-stack cluster|gossip|flood] [-seed 1]
+//	      [-no-peer-forwarding] [-no-bgw] [-no-implicit-acks]
+//	      [-aggregate] [-sleep] [-naive-sleep]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"clusterfds/internal/cluster"
+	"clusterfds/internal/scenario"
+	"clusterfds/internal/sleep"
+	"clusterfds/internal/stats"
+	"clusterfds/internal/wire"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 100, "number of hosts")
+	field := flag.Float64("field", 500, "deployment square edge (m)")
+	lossProb := flag.Float64("p", 0.1, "per-receiver message loss probability")
+	epochs := flag.Int("epochs", 12, "heartbeat intervals to simulate")
+	crashes := flag.Int("crashes", 3, "hosts to crash")
+	crashEpoch := flag.Int("crash-epoch", 4, "epoch at whose midpoint crashes occur")
+	stackName := flag.String("stack", "cluster", "detector stack: cluster, gossip, flood")
+	seed := flag.Int64("seed", 1, "random seed")
+	noPeerFwd := flag.Bool("no-peer-forwarding", false, "disable intra-cluster peer forwarding")
+	noBGW := flag.Bool("no-bgw", false, "disable backup-gateway assistance")
+	noAcks := flag.Bool("no-implicit-acks", false, "disable implicit-ack retransmission")
+	withAgg := flag.Bool("aggregate", false, "attach the in-network aggregation service")
+	withSleep := flag.Bool("sleep", false, "attach announced radio duty cycling")
+	naiveSleep := flag.Bool("naive-sleep", false, "duty cycling WITHOUT sleep notices (the paper's hazard)")
+	flag.Parse()
+
+	var stack scenario.Stack
+	switch *stackName {
+	case "cluster":
+		stack = scenario.StackClusterFDS
+	case "gossip":
+		stack = scenario.StackGossip
+	case "flood":
+		stack = scenario.StackFlood
+	default:
+		fmt.Fprintf(os.Stderr, "fdsim: unknown stack %q\n", *stackName)
+		os.Exit(2)
+	}
+
+	cfg := scenario.Config{
+		Seed:                  *seed,
+		Nodes:                 *nodes,
+		FieldSide:             *field,
+		LossProb:              *lossProb,
+		Stack:                 stack,
+		DisablePeerForwarding: *noPeerFwd,
+		DisableBGWAssist:      *noBGW,
+		DisableImplicitAcks:   *noAcks,
+	}
+	if *withAgg {
+		cfg.AggregateSampler = func(id wire.NodeID, e wire.Epoch) (float64, bool) {
+			return float64(id%100) + float64(e%10), true
+		}
+	}
+	if *withSleep || *naiveSleep {
+		scfg := sleep.DefaultConfig(cluster.DefaultTiming())
+		scfg.Announce = !*naiveSleep
+		cfg.Sleep = &scfg
+	}
+	w := scenario.Build(cfg)
+	timing := w.Config().Timing
+	ce := *crashEpoch
+	if ce < 0 {
+		ce = 0
+	}
+	crashAt := timing.EpochStart(wire.Epoch(ce)) + timing.Interval/2
+	victims := w.CrashRandomAt(crashAt, *crashes)
+	w.RunEpochs(*epochs)
+
+	fmt.Printf("fdsim: stack=%v nodes=%d field=%.0fm p=%.2f epochs=%d seed=%d\n",
+		stack, *nodes, *field, *lossProb, *epochs, *seed)
+	fmt.Printf("virtual time simulated: %v (%d kernel events)\n\n",
+		time.Duration(w.Kernel.Now()), w.Kernel.Steps())
+
+	if stack == scenario.StackClusterFDS {
+		c := w.Census()
+		fmt.Printf("cluster census: %d clusterheads, %d members (%d gateways), %d unadmitted\n\n",
+			c.Clusterheads, c.Members, c.Gateways, c.Unmarked)
+	}
+
+	if len(victims) > 0 {
+		fmt.Printf("crashed at epoch %d (+%v): %v\n", *crashEpoch, timing.Interval/2, victims)
+		for _, v := range victims {
+			aware, operational := w.Completeness(v)
+			lat := w.DetectionLatencies(v)
+			latSummary := stats.NewSummary(true)
+			for _, l := range lat {
+				latSummary.Add(time.Duration(l).Seconds())
+			}
+			fmt.Printf("  %v: known by %d/%d operational hosts", v, aware, operational)
+			if latSummary.N() > 0 {
+				fmt.Printf("; detection latency mean %.2fs p95 %.2fs max %.2fs",
+					latSummary.Mean(), latSummary.Percentile(0.95), latSummary.Max())
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+
+	if fs := w.FalseSuspicions(); len(fs) > 0 {
+		fmt.Printf("FALSE SUSPICIONS (%d): %v\n\n", len(fs), fs)
+	} else {
+		fmt.Printf("false suspicions: none\n\n")
+	}
+
+	counts := w.MessageCounts()
+	names := make([]string, 0, len(counts))
+	for k := range counts {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	fmt.Println("message counts:")
+	var txTotal int64
+	for _, name := range names {
+		if len(name) > 3 && name[:3] == "tx:" {
+			txTotal += counts[name]
+		}
+		fmt.Printf("  %-24s %d\n", name, counts[name])
+	}
+	fmt.Printf("  %-24s %d\n", "TX TOTAL", txTotal)
+	fmt.Printf("\nenergy spent (all hosts): %.0f units (%.1f per host per epoch)\n",
+		w.TotalEnergySpent(),
+		w.TotalEnergySpent()/float64(*nodes)/float64(*epochs))
+
+	if *withAgg {
+		for _, id := range w.Operational() {
+			if w.Cluster(id) != nil && w.Cluster(id).View().IsCH {
+				e := timing.EpochOf(w.Kernel.Now()) - 1
+				g, clusters := w.Aggregate(id).Global(e)
+				fmt.Printf("\nglobal aggregate at CH %v (epoch %d, %d clusters): %s\n",
+					id, e, clusters, g)
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module clusterfds
+
+go 1.22

@@ -1,0 +1,200 @@
+// Package analysis implements the paper's probabilistic evaluation
+// (Section 5): closed-form measures of the FDS's accuracy and completeness
+// properties as functions of the per-receiver message-loss probability p and
+// the cluster population N.
+//
+// Setting, per the paper: transmission range R = 100 m; each cluster holds
+// N ∈ [50, 100] operational hosts uniformly distributed over the cluster
+// disk; messages are lost independently with probability p ∈ [0.05, 0.5].
+// All measures are worst-case ("upper bound") with the subject node on the
+// cluster circumference, where its in-cluster neighborhood area An is
+// smallest: An/Au = 2(π/3 − √3/4)/π ≈ 0.391.
+//
+// Figure 5's formula appears in the paper; the Figure 6 and Figure 7
+// formulas were omitted for space and are re-derived in DESIGN.md §5. All
+// three have compact closed forms because the paper's inner sums telescope:
+//
+//	Σ_j C(k,j)((1−p)p)^j p^(k−j) = (p(2−p))^k = (1 − (1−p)²)^k
+package analysis
+
+import (
+	"math"
+
+	"clusterfds/internal/geo"
+	"clusterfds/internal/stats"
+)
+
+// NeighborhoodFraction is a = An/Au, the fraction of the cluster disk
+// covered by the neighborhood of a node on the circumference (~0.391).
+func NeighborhoodFraction() float64 { return geo.NeighborhoodFraction() }
+
+// DefaultLossSweep returns the paper's sweep of message-loss probabilities:
+// 0.05 to 0.50 in steps of 0.05.
+func DefaultLossSweep() []float64 {
+	ps := make([]float64, 0, 10)
+	for i := 1; i <= 10; i++ {
+		ps = append(ps, float64(i)*0.05)
+	}
+	return ps
+}
+
+// PaperPopulations returns the cluster sizes the paper plots: 50, 75, 100.
+func PaperPopulations() []int { return []int{50, 75, 100} }
+
+// validate panics on out-of-domain arguments; the measures are meaningless
+// outside these ranges and a silent wrong answer would corrupt experiments.
+func validate(n int, p float64) {
+	if n < 3 {
+		panic("analysis: cluster population must be at least 3 (CH, DCH, member)")
+	}
+	if p < 0 || p > 1 {
+		panic("analysis: loss probability outside [0,1]")
+	}
+}
+
+// FalseDetection returns P̂(False detection): the probability that an
+// operational member on the cluster circumference is mistakenly judged
+// failed in one FDS execution (Figure 5), in closed form:
+//
+//	P̂ = p² · (1 − a(1−p)²)^(N−2),  a = An/Au
+//
+// Derivation: the member's heartbeat and digest must both miss the CH (p²);
+// each of the other N−2 nodes defeats the detection iff it lies in the
+// member's neighborhood (a), heard the heartbeat (1−p), and its digest
+// reached the CH (1−p).
+func FalseDetection(n int, p float64) float64 {
+	validate(n, p)
+	a := NeighborhoodFraction()
+	return p * p * math.Pow(1-a*(1-p)*(1-p), float64(n-2))
+}
+
+// FalseDetectionPaperSum evaluates the paper's literal double-summation
+// formula for P̂(False detection). It must agree with FalseDetection to
+// floating-point accuracy; tests enforce this. Exposed so the equivalence
+// is part of the public record rather than a private belief.
+func FalseDetectionPaperSum(n int, p float64) float64 {
+	validate(n, p)
+	a := NeighborhoodFraction()
+	total := 0.0
+	for k := 0; k <= n-2; k++ {
+		outer := stats.BinomialPMF(n-2, k, a)
+		inner := 0.0
+		for j := 0; j <= k; j++ {
+			// j neighbors overheard the heartbeat ((1-p)^j), k-j did not
+			// (p^(k-j)), and none of the j digests reached the CH (p^j).
+			inner += stats.BinomialPMF(k, j, 1-p) * math.Pow(p, float64(j))
+		}
+		total += outer * inner
+	}
+	return p * p * total
+}
+
+// FalseDetectionOnCH returns P(False detection on CH): the probability that
+// the deputy clusterhead mistakenly judges an operational CH failed in one
+// FDS execution (Figure 6), in closed form:
+//
+//	P = p³ · (1 − (1−p)²)^(N−2)
+//
+// Derivation (the paper omitted the formula for space): the DCH must miss
+// the CH's R-1 heartbeat, R-2 digest, and R-3 health update (p³, the rule's
+// three conditions of time redundancy); every other member heard the CH's
+// broadcast heartbeat with probability 1−p — the CH reaches the whole
+// cluster by construction — and its digest reached the DCH with probability
+// 1−p, so each of the N−2 members independently fails to defeat the false
+// detection with probability 1 − (1−p)². The absent geometric factor is why
+// the CH is far better protected than an edge member (compare Figure 5),
+// matching the paper's observation that the CH's heartbeat "may be heard by
+// everyone else in the cluster".
+func FalseDetectionOnCH(n int, p float64) float64 {
+	validate(n, p)
+	return p * p * p * math.Pow(1-(1-p)*(1-p), float64(n-2))
+}
+
+// Incompleteness returns P̂(Incompleteness): the probability that a member
+// on the cluster circumference fails to receive a health-status update
+// broadcast by the CH, despite progressive peer forwarding (Figure 7), in
+// closed form:
+//
+//	P̂ = p · (1 − a(1−p)³)^(N−2)
+//
+// Derivation (omitted by the paper for space): the direct broadcast is lost
+// (p); a peer rescues the member iff it lies in the member's in-cluster
+// neighborhood (a), itself received the update (1−p), heard the member's
+// forwarding request (1−p), and the forwarded copy arrived (1−p). Because
+// peer forwarding is progressive — peers fire one at a time until the
+// requester acknowledges — recovery fails only if every neighbor fails.
+func Incompleteness(n int, p float64) float64 {
+	validate(n, p)
+	a := NeighborhoodFraction()
+	return p * math.Pow(1-a*math.Pow(1-p, 3), float64(n-2))
+}
+
+// IncompletenessSum evaluates the incompleteness measure as an explicit
+// binomial expectation over the number of in-cluster neighbors, mirroring
+// the structure of the paper's Figure 5 formula. Agreement with the closed
+// form is test-enforced.
+func IncompletenessSum(n int, p float64) float64 {
+	validate(n, p)
+	a := NeighborhoodFraction()
+	perNeighbor := math.Pow(1-p, 3)
+	total := 0.0
+	for k := 0; k <= n-2; k++ {
+		total += stats.BinomialPMF(n-2, k, a) * math.Pow(1-perNeighbor, float64(k))
+	}
+	return p * total
+}
+
+// Measure identifies one of the paper's evaluation measures.
+type Measure int
+
+// The paper's three results figures.
+const (
+	MeasureFalseDetection     Measure = iota + 1 // Figure 5
+	MeasureFalseDetectionOnCH                    // Figure 6
+	MeasureIncompleteness                        // Figure 7
+)
+
+// String implements fmt.Stringer.
+func (m Measure) String() string {
+	switch m {
+	case MeasureFalseDetection:
+		return "P(False detection)"
+	case MeasureFalseDetectionOnCH:
+		return "P(False detection on CH)"
+	case MeasureIncompleteness:
+		return "P(Incompleteness)"
+	default:
+		return "unknown measure"
+	}
+}
+
+// Eval evaluates the measure at the given cluster population and loss
+// probability.
+func (m Measure) Eval(n int, p float64) float64 {
+	switch m {
+	case MeasureFalseDetection:
+		return FalseDetection(n, p)
+	case MeasureFalseDetectionOnCH:
+		return FalseDetectionOnCH(n, p)
+	case MeasureIncompleteness:
+		return Incompleteness(n, p)
+	default:
+		panic("analysis: unknown measure")
+	}
+}
+
+// SeriesPoint is one (p, value) sample of a measure.
+type SeriesPoint struct {
+	P     float64
+	Value float64
+}
+
+// Series evaluates the measure over the loss sweep for a fixed population,
+// producing one curve of the corresponding paper figure.
+func Series(m Measure, n int, ps []float64) []SeriesPoint {
+	out := make([]SeriesPoint, len(ps))
+	for i, p := range ps {
+		out[i] = SeriesPoint{P: p, Value: m.Eval(n, p)}
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+)
+
+func TestClusterCostBreakdown(t *testing.T) {
+	c := ClusterCost{Nodes: 100, Clusters: 10, Gateways: 30, LossProb: 0.1}
+	b := c.PerEpoch()
+	if b.Heartbeats != 100 || b.Digests != 100 {
+		t.Errorf("per-node rounds wrong: %+v", b)
+	}
+	if b.Updates != 10 || b.Announces != 10 {
+		t.Errorf("per-cluster broadcasts wrong: %+v", b)
+	}
+	if b.GWRegisters != 30 {
+		t.Errorf("registrations wrong: %+v", b)
+	}
+	if math.Abs(b.PeerRecovery-90*0.1*3) > 1e-9 {
+		t.Errorf("peer recovery wrong: %+v", b)
+	}
+	if math.Abs(b.Total()-(100+100+10+10+30+27)) > 1e-9 {
+		t.Errorf("total = %v", b.Total())
+	}
+}
+
+func TestClusterCostLossless(t *testing.T) {
+	c := ClusterCost{Nodes: 50, Clusters: 5, Gateways: 10, LossProb: 0}
+	if got := c.PerEpoch().PeerRecovery; got != 0 {
+		t.Errorf("recovery traffic at p=0: %v", got)
+	}
+}
+
+func TestFloodingQuadratic(t *testing.T) {
+	small := FloodingPerInterval(50, 0)
+	large := FloodingPerInterval(500, 0)
+	// 10x population must cost ~100x messages.
+	if ratio := large / small; ratio < 80 || ratio > 120 {
+		t.Errorf("flooding scaling ratio = %v, want ~100", ratio)
+	}
+	if FloodingPerInterval(100, 0.3) >= FloodingPerInterval(100, 0) {
+		t.Error("loss should reduce flood relays")
+	}
+}
+
+func TestGossipBytesQuadratic(t *testing.T) {
+	if GossipPerInterval(100) != 100 {
+		t.Error("gossip sends one message per node")
+	}
+	small, large := GossipBytesPerInterval(50), GossipBytesPerInterval(500)
+	if ratio := large / small; ratio < 80 || ratio > 120 {
+		t.Errorf("gossip byte scaling = %v, want ~100", ratio)
+	}
+}
+
+func TestScalingAdvantageGrowsWithPopulation(t *testing.T) {
+	prev := 0.0
+	for _, n := range []int{100, 300, 1000} {
+		adv := ScalingAdvantage(n, 0.1, 0.1, 0.4)
+		if adv <= prev {
+			t.Errorf("advantage did not grow at n=%d: %v <= %v", n, adv, prev)
+		}
+		prev = adv
+	}
+	if prev < 50 {
+		t.Errorf("advantage at n=1000 only %.1fx; the paper's claim expects large factors", prev)
+	}
+}

@@ -1,0 +1,236 @@
+package baseline
+
+import (
+	"testing"
+	"time"
+
+	"clusterfds/internal/geo"
+	"clusterfds/internal/node"
+	"clusterfds/internal/radio"
+	"clusterfds/internal/sim"
+	"clusterfds/internal/wire"
+)
+
+func gossipCfg() GossipConfig {
+	return GossipConfig{
+		Interval:     sim.Time(time.Second),
+		SuspectAfter: sim.Time(5 * time.Second),
+	}
+}
+
+func floodCfg() FloodConfig {
+	return FloodConfig{
+		Interval:     sim.Time(time.Second),
+		TTL:          8,
+		SuspectAfter: sim.Time(5 * time.Second),
+		RelayJitter:  sim.Time(5 * time.Millisecond),
+	}
+}
+
+// line returns n positions spaced 80 m apart (a multi-hop chain).
+func line(n int) []geo.Point {
+	pts := make([]geo.Point, n)
+	for i := range pts {
+		pts[i] = geo.Point{X: float64(i) * 80}
+	}
+	return pts
+}
+
+// clique returns n mutually-in-range positions.
+func clique(n int) []geo.Point {
+	pts := make([]geo.Point, n)
+	for i := range pts {
+		pts[i] = geo.Point{X: float64(i%5) * 10, Y: float64(i/5) * 10}
+	}
+	return pts
+}
+
+type gossipWorld struct {
+	kernel *sim.Kernel
+	medium *radio.Medium
+	hosts  []*node.Host
+	dets   []Detector
+}
+
+func buildGossip(t *testing.T, seed int64, lossProb float64, pts []geo.Point) *gossipWorld {
+	t.Helper()
+	k := sim.New(seed)
+	m := radio.New(k, radio.Defaults(lossProb))
+	w := &gossipWorld{kernel: k, medium: m}
+	for i, pos := range pts {
+		h := node.New(k, m, wire.NodeID(i+1), pos)
+		g := NewGossip(gossipCfg())
+		h.Use(g)
+		w.hosts = append(w.hosts, h)
+		w.dets = append(w.dets, g)
+		h.Boot()
+	}
+	return w
+}
+
+func buildFlood(t *testing.T, seed int64, lossProb float64, pts []geo.Point) *gossipWorld {
+	t.Helper()
+	k := sim.New(seed)
+	m := radio.New(k, radio.Defaults(lossProb))
+	w := &gossipWorld{kernel: k, medium: m}
+	for i, pos := range pts {
+		h := node.New(k, m, wire.NodeID(i+1), pos)
+		f := NewFlood(floodCfg())
+		h.Use(f)
+		w.hosts = append(w.hosts, h)
+		w.dets = append(w.dets, f)
+		h.Boot()
+	}
+	return w
+}
+
+func TestGossipDetectsCrash(t *testing.T) {
+	w := buildGossip(t, 1, 0, clique(6))
+	// Let membership propagate, crash n3, then wait past SuspectAfter.
+	w.kernel.RunUntil(sim.Time(3 * time.Second))
+	w.hosts[2].Crash()
+	w.kernel.RunUntil(sim.Time(12 * time.Second))
+	for i, d := range w.dets {
+		if i == 2 {
+			continue
+		}
+		if !d.IsSuspected(3) {
+			t.Errorf("node %d does not suspect the crashed n3", i+1)
+		}
+		if got := d.KnownFailed(); len(got) != 1 || got[0] != 3 {
+			t.Errorf("node %d KnownFailed = %v", i+1, got)
+		}
+	}
+}
+
+func TestGossipNoFalseSuspicionsWithoutLoss(t *testing.T) {
+	w := buildGossip(t, 2, 0, clique(8))
+	w.kernel.RunUntil(sim.Time(30 * time.Second))
+	for i, d := range w.dets {
+		if got := d.KnownFailed(); len(got) != 0 {
+			t.Errorf("node %d suspects %v with no crashes", i+1, got)
+		}
+	}
+}
+
+func TestGossipMultiHopPropagation(t *testing.T) {
+	// Gossip merges tables, so counters travel multi-hop along a chain.
+	w := buildGossip(t, 3, 0, line(6))
+	w.kernel.RunUntil(sim.Time(20 * time.Second))
+	g := w.dets[5].(*Gossip)
+	if g.KnownPopulation() != 6 {
+		t.Errorf("chain end knows %d hosts, want 6", g.KnownPopulation())
+	}
+	if len(w.dets[5].KnownFailed()) != 0 {
+		t.Errorf("false suspicions on a healthy chain: %v", w.dets[5].KnownFailed())
+	}
+}
+
+func TestGossipNeverHeardNotSuspected(t *testing.T) {
+	w := buildGossip(t, 4, 0, clique(3))
+	w.kernel.RunUntil(sim.Time(2 * time.Second))
+	if w.dets[0].IsSuspected(99) {
+		t.Error("suspecting a host never heard of")
+	}
+}
+
+func TestFloodDetectsCrash(t *testing.T) {
+	w := buildFlood(t, 5, 0, line(5))
+	w.kernel.RunUntil(sim.Time(3 * time.Second))
+	w.hosts[0].Crash() // crash one end of the chain
+	w.kernel.RunUntil(sim.Time(12 * time.Second))
+	// The far end (4 hops away) must suspect it.
+	if !w.dets[4].IsSuspected(1) {
+		t.Error("far end does not suspect the crashed chain head")
+	}
+}
+
+func TestFloodReachesWholeChain(t *testing.T) {
+	w := buildFlood(t, 6, 0, line(6))
+	w.kernel.RunUntil(sim.Time(5 * time.Second))
+	for i, d := range w.dets {
+		f := d.(*Flood)
+		if f.KnownPopulation() < 6 {
+			t.Errorf("node %d heard only %d origins, want 6", i+1, f.KnownPopulation())
+		}
+	}
+}
+
+func TestFloodTTLLimitsReach(t *testing.T) {
+	cfg := floodCfg()
+	cfg.TTL = 2 // origin + one relay: reaches 2 hops
+	k := sim.New(7)
+	m := radio.New(k, radio.Defaults(0))
+	var dets []*Flood
+	for i, pos := range line(5) {
+		h := node.New(k, m, wire.NodeID(i+1), pos)
+		f := NewFlood(cfg)
+		h.Use(f)
+		dets = append(dets, f)
+		h.Boot()
+	}
+	k.RunUntil(sim.Time(5 * time.Second))
+	// Node 4 is 3 hops from node 1: out of TTL reach.
+	if dets[3].KnownPopulation() >= 5 {
+		t.Error("TTL=2 should not cover a 3-hop spread")
+	}
+	if dets[1].KnownPopulation() < 3 {
+		t.Errorf("2nd node should hear at least its 2-hop vicinity, got %d", dets[1].KnownPopulation())
+	}
+}
+
+func TestFloodMessageCostScalesWithPopulation(t *testing.T) {
+	// The core scalability point: flooding transmissions grow superlinearly
+	// with population (every node relays every heartbeat).
+	count := func(n int) int64 {
+		k := sim.New(8)
+		m := radio.New(k, radio.Defaults(0))
+		for i, pos := range clique(n) {
+			h := node.New(k, m, wire.NodeID(i+1), pos)
+			h.Use(NewFlood(floodCfg()))
+			h.Boot()
+		}
+		k.RunUntil(sim.Time(5 * time.Second))
+		return m.Sent(wire.KindFloodHeartbeat)
+	}
+	small, large := count(5), count(20)
+	if large < 10*small {
+		t.Errorf("flooding cost grew only %dx (%d -> %d) for 4x population; want superlinear",
+			large/small, small, large)
+	}
+}
+
+func TestGossipDetectionUnderLoss(t *testing.T) {
+	w := buildGossip(t, 9, 0.2, clique(8))
+	w.kernel.RunUntil(sim.Time(3 * time.Second))
+	w.hosts[4].Crash()
+	w.kernel.RunUntil(sim.Time(20 * time.Second))
+	for i, d := range w.dets {
+		if i == 4 {
+			continue
+		}
+		if !d.IsSuspected(5) {
+			t.Errorf("node %d missed the crash at p=0.2", i+1)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"gossip zero interval": func() { NewGossip(GossipConfig{SuspectAfter: sim.Time(time.Second)}) },
+		"gossip tight suspect": func() { NewGossip(GossipConfig{Interval: sim.Time(time.Second), SuspectAfter: sim.Time(time.Second)}) },
+		"flood zero ttl": func() {
+			NewFlood(FloodConfig{Interval: sim.Time(time.Second), SuspectAfter: sim.Time(5 * time.Second)})
+		},
+		"flood zero interval": func() { NewFlood(FloodConfig{TTL: 3, SuspectAfter: sim.Time(time.Second)}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: want panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,128 @@
+package baseline
+
+import (
+	"sort"
+
+	"clusterfds/internal/node"
+	"clusterfds/internal/sim"
+	"clusterfds/internal/wire"
+)
+
+// FloodConfig parameterizes the flat-flooding heartbeat detector.
+type FloodConfig struct {
+	// Interval is each node's heartbeat period.
+	Interval sim.Time
+	// TTL bounds how many hops a heartbeat is relayed; it must cover the
+	// network diameter for system-wide visibility.
+	TTL uint8
+	// SuspectAfter is how long a node's heartbeat may be absent before it
+	// is suspected.
+	SuspectAfter sim.Time
+	// RelayJitter spreads relays over a short window to avoid synchronized
+	// bursts; zero disables jitter.
+	RelayJitter sim.Time
+}
+
+// Valid reports whether the configuration is usable.
+func (c FloodConfig) Valid() bool {
+	return c.Interval > 0 && c.TTL >= 1 && c.SuspectAfter >= 2*c.Interval
+}
+
+// floodKey identifies one origin heartbeat for duplicate suppression.
+type floodKey struct {
+	origin wire.NodeID
+	seq    uint64
+}
+
+// Flood is the per-host flat-flooding failure detector protocol. Every
+// heartbeat from every node is relayed once by every other node (up to the
+// TTL), which is exactly the O(population) per-message cost the paper's
+// two-tier architecture avoids.
+type Flood struct {
+	cfg  FloodConfig
+	host *node.Host
+
+	seq      uint64
+	seen     map[floodKey]bool
+	lastSeen map[wire.NodeID]sim.Time
+}
+
+// NewFlood returns a flooding detector.
+func NewFlood(cfg FloodConfig) *Flood {
+	if !cfg.Valid() {
+		panic("baseline: invalid flood config")
+	}
+	return &Flood{
+		cfg:      cfg,
+		seen:     make(map[floodKey]bool),
+		lastSeen: make(map[wire.NodeID]sim.Time),
+	}
+}
+
+// Start implements node.Protocol.
+func (f *Flood) Start(h *node.Host) {
+	f.host = h
+	first := sim.Time(h.Rand().Int63n(int64(f.cfg.Interval)))
+	h.After(first, f.tick)
+}
+
+func (f *Flood) tick() {
+	f.seq++
+	f.host.Send(&wire.FloodHeartbeat{
+		Origin: f.host.ID(),
+		Seq:    f.seq,
+		TTL:    f.cfg.TTL,
+		Relay:  f.host.ID(),
+	})
+	f.host.After(f.cfg.Interval, f.tick)
+}
+
+// Handle implements node.Protocol: record liveness and relay unseen
+// heartbeats while TTL remains.
+func (f *Flood) Handle(h *node.Host, m wire.Message, from wire.NodeID) {
+	hb, ok := m.(*wire.FloodHeartbeat)
+	if !ok {
+		return
+	}
+	k := floodKey{origin: hb.Origin, seq: hb.Seq}
+	if f.seen[k] {
+		return
+	}
+	f.seen[k] = true
+	if t, known := f.lastSeen[hb.Origin]; !known || h.Now() > t {
+		f.lastSeen[hb.Origin] = h.Now()
+	}
+	if hb.TTL <= 1 {
+		return
+	}
+	relay := &wire.FloodHeartbeat{Origin: hb.Origin, Seq: hb.Seq, TTL: hb.TTL - 1, Relay: h.ID()}
+	if f.cfg.RelayJitter > 0 {
+		h.After(sim.Time(h.Rand().Int63n(int64(f.cfg.RelayJitter))), func() { h.Send(relay) })
+		return
+	}
+	h.Send(relay)
+}
+
+// IsSuspected implements Detector.
+func (f *Flood) IsSuspected(id wire.NodeID) bool {
+	t, known := f.lastSeen[id]
+	if !known {
+		return false
+	}
+	return f.host.Now()-t > f.cfg.SuspectAfter
+}
+
+// KnownFailed implements Detector.
+func (f *Flood) KnownFailed() []wire.NodeID {
+	var out []wire.NodeID
+	for id := range f.lastSeen {
+		if id != f.host.ID() && f.IsSuspected(id) {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// KnownPopulation returns how many distinct origins this host has heard.
+func (f *Flood) KnownPopulation() int { return len(f.lastSeen) }

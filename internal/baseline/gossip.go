@@ -1,0 +1,133 @@
+// Package baseline implements the two comparison failure detectors the
+// paper positions itself against:
+//
+//   - a gossip-style failure detector in the spirit of van Renesse, Minsky
+//     and Hayden (the paper's reference [11]): every node maintains a table
+//     of heartbeat counters and periodically diffuses it to its neighbors;
+//     a node is suspected when its counter has not advanced for Tfail;
+//   - a flat-flooding heartbeat detector: every node's heartbeat is relayed
+//     network-wide with a TTL, the strawman against which Section 3 claims
+//     cluster-based dissemination is "far more efficient".
+//
+// Both run on the same hosts, radio, and kernel as the cluster-based FDS,
+// so message counts, bytes, and energy are directly comparable
+// (experiment Ext. C in DESIGN.md).
+package baseline
+
+import (
+	"sort"
+
+	"clusterfds/internal/node"
+	"clusterfds/internal/sim"
+	"clusterfds/internal/wire"
+)
+
+// Detector is the query surface shared by the baselines and (structurally)
+// by the cluster-based FDS: what does this host believe has failed?
+type Detector interface {
+	// IsSuspected reports whether the host suspects id has failed.
+	IsSuspected(id wire.NodeID) bool
+	// KnownFailed returns all suspected hosts in NID order.
+	KnownFailed() []wire.NodeID
+}
+
+// GossipConfig parameterizes the gossip detector.
+type GossipConfig struct {
+	// Interval is the gossip period (per node).
+	Interval sim.Time
+	// SuspectAfter is how long a heartbeat counter may stall before its
+	// node is suspected. Van Renesse et al. choose it to bound the
+	// false-positive probability; several gossip intervals is typical.
+	SuspectAfter sim.Time
+}
+
+// Valid reports whether the configuration is usable.
+func (c GossipConfig) Valid() bool {
+	return c.Interval > 0 && c.SuspectAfter >= 2*c.Interval
+}
+
+// gossipEntry is one row of the local table.
+type gossipEntry struct {
+	counter   uint64
+	lastRaise sim.Time
+}
+
+// Gossip is the per-host gossip failure detector protocol.
+type Gossip struct {
+	cfg  GossipConfig
+	host *node.Host
+
+	counter uint64
+	table   map[wire.NodeID]gossipEntry
+}
+
+// NewGossip returns a gossip detector.
+func NewGossip(cfg GossipConfig) *Gossip {
+	if !cfg.Valid() {
+		panic("baseline: invalid gossip config (need Interval > 0 and SuspectAfter >= 2*Interval)")
+	}
+	return &Gossip{cfg: cfg, table: make(map[wire.NodeID]gossipEntry)}
+}
+
+// Start implements node.Protocol.
+func (g *Gossip) Start(h *node.Host) {
+	g.host = h
+	g.table[h.ID()] = gossipEntry{counter: 0, lastRaise: h.Now()}
+	// Desynchronize the fleet: first tick lands at a random phase.
+	first := sim.Time(h.Rand().Int63n(int64(g.cfg.Interval)))
+	h.After(first, g.tick)
+}
+
+// tick advances the local heartbeat and diffuses the table.
+func (g *Gossip) tick() {
+	g.counter++
+	g.table[g.host.ID()] = gossipEntry{counter: g.counter, lastRaise: g.host.Now()}
+
+	entries := make([]wire.GossipEntry, 0, len(g.table))
+	for id, e := range g.table {
+		entries = append(entries, wire.GossipEntry{NID: id, Heartbeat: e.counter})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].NID < entries[j].NID })
+	g.host.Send(&wire.Gossip{From: g.host.ID(), Entries: entries})
+	g.host.After(g.cfg.Interval, g.tick)
+}
+
+// Handle implements node.Protocol: merge higher counters.
+func (g *Gossip) Handle(h *node.Host, m wire.Message, from wire.NodeID) {
+	msg, ok := m.(*wire.Gossip)
+	if !ok {
+		return
+	}
+	now := h.Now()
+	for _, e := range msg.Entries {
+		cur, known := g.table[e.NID]
+		if !known || e.Heartbeat > cur.counter {
+			g.table[e.NID] = gossipEntry{counter: e.Heartbeat, lastRaise: now}
+		}
+	}
+}
+
+// IsSuspected implements Detector.
+func (g *Gossip) IsSuspected(id wire.NodeID) bool {
+	e, known := g.table[id]
+	if !known {
+		return false // never heard of it; cannot suspect
+	}
+	return g.host.Now()-e.lastRaise > g.cfg.SuspectAfter
+}
+
+// KnownFailed implements Detector.
+func (g *Gossip) KnownFailed() []wire.NodeID {
+	var out []wire.NodeID
+	for id := range g.table {
+		if id != g.host.ID() && g.IsSuspected(id) {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// KnownPopulation returns how many hosts this detector has heard of,
+// including itself — gossip's membership discovery progress.
+func (g *Gossip) KnownPopulation() int { return len(g.table) }

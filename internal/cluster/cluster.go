@@ -1,0 +1,822 @@
+// Package cluster implements the distributed cluster-formation algorithm of
+// Section 3, a lowest-ID variant of the Baker/Ephremides and Gerla/Tsai
+// algorithms with the paper's features F1–F5:
+//
+//	F1: clusters partially overlap, so gateways connect directly to two or
+//	    more clusterheads and multiple gateway candidates usually exist;
+//	F2: high density is exploited to designate deputy clusterheads (DCHs)
+//	    and backup gateways (BGWs);
+//	F3: every gateway is affiliated with exactly one cluster;
+//	F4: the algorithm has no termination rule — iterations continue every
+//	    epoch so newly arriving (or previously missed) hosts are admitted;
+//	F5: the first round of each iteration is the epoch's heartbeat
+//	    diffusion, shared with the failure detection service.
+//
+// A cluster is a unit disk centered on its clusterhead: every member is a
+// one-hop neighbor of the CH, so any two members are at most two hops apart.
+//
+// The protocol communicates exclusively through broadcast messages and the
+// promiscuous receiving mode; there is no out-of-band state sharing between
+// hosts. Within a host, the failure detection service (package fds) calls
+// the exported mutators (NoteFailed, TakeOver, NoteNewCH) because a host
+// never hears its own transmissions.
+package cluster
+
+import (
+	"sort"
+
+	"clusterfds/internal/node"
+	"clusterfds/internal/sim"
+	"clusterfds/internal/trace"
+	"clusterfds/internal/wire"
+)
+
+// Config parameterizes the formation algorithm.
+type Config struct {
+	Timing Timing
+	// MaxDCH is how many deputy clusterheads a CH designates (feature F2).
+	MaxDCH int
+	// DeclareBackoffFrac bounds the RCC-style random backoff before a
+	// clusterhead declaration, as a fraction of Thop. Random competition
+	// resolves concurrent conflicting CH declarations (paper footnote 1).
+	DeclareBackoffFrac float64
+}
+
+// DefaultConfig returns the configuration used by the experiments.
+func DefaultConfig() Config {
+	return Config{Timing: DefaultTiming(), MaxDCH: 2, DeclareBackoffFrac: 0.5}
+}
+
+// View is an immutable snapshot of a host's cluster state.
+type View struct {
+	// Epoch is the epoch in which the snapshot was taken.
+	Epoch wire.Epoch
+	// Marked reports whether the host has been admitted to a cluster.
+	Marked bool
+	// CH is the host's clusterhead (== the host itself for a CH).
+	CH wire.NodeID
+	// IsCH reports whether the host is currently a clusterhead.
+	IsCH bool
+	// Members is the sorted cluster membership, including the CH. For the
+	// CH it is authoritative; for members it reflects the latest
+	// cluster-organization announcement.
+	Members []wire.NodeID
+	// DCHs lists the deputy clusterheads, highest-ranked first.
+	DCHs []wire.NodeID
+	// OtherCHs lists foreign clusterheads this host can hear, making it a
+	// gateway candidate (sorted). Empty for non-gateways.
+	OtherCHs []wire.NodeID
+}
+
+// IsMember reports whether id is in the snapshot's membership.
+func (v View) IsMember(id wire.NodeID) bool {
+	for _, m := range v.Members {
+		if m == id {
+			return true
+		}
+	}
+	return false
+}
+
+// IsGW reports whether the host is a gateway candidate to at least one
+// neighboring cluster.
+func (v View) IsGW() bool { return len(v.OtherCHs) > 0 }
+
+// pairKey identifies an unordered pair of neighboring clusterheads.
+type pairKey struct{ lo, hi wire.NodeID }
+
+func pairOf(a, b wire.NodeID) pairKey {
+	if a > b {
+		a, b = b, a
+	}
+	return pairKey{lo: a, hi: b}
+}
+
+// Protocol is the per-host cluster-formation state machine. Create one with
+// New and attach it to a host before Boot.
+type Protocol struct {
+	cfg  Config
+	host *node.Host
+
+	epoch wire.Epoch
+
+	// Affiliation state.
+	marked bool
+	isCH   bool
+	myCH   wire.NodeID
+
+	// Cluster composition (authoritative on the CH, advisory on members).
+	members map[wire.NodeID]bool
+	dchs    []wire.NodeID
+	gwFlag  map[wire.NodeID]bool // CH: members known to be gateways
+
+	// Foreign clusterheads this host can hear (gateway candidacy), and the
+	// epoch in which each was last heard so stale entries age out.
+	otherCHs map[wire.NodeID]wire.Epoch
+
+	// borderPeers tracks, per foreign clusterhead, the members of that
+	// cluster within earshot (learned from overheard digests). When no
+	// single node hears both clusterheads, a border node and one of these
+	// peers together form the paper's fallback "distributed gateway": a
+	// two-hop relay path between the clusters.
+	borderPeers map[wire.NodeID]map[wire.NodeID]wire.Epoch
+
+	// Gateway candidates per neighboring-cluster pair, learned from
+	// overheard GWRegister broadcasts. Used for BGW self-ranking and for
+	// the CH's primary-gateway choice.
+	gwCandidates map[pairKey]map[wire.NodeID]bool
+
+	// CH bookkeeping: neighbor clusterheads and per-member digest coverage.
+	// coverage is an exponentially weighted moving average of digest sizes
+	// (how much of the cluster a member hears): smoothing keeps the deputy
+	// ranking stable under message loss, so every member agrees on who the
+	// deputies are — a deputy that does not know it is one means nobody
+	// watches the CH. epochCoverage holds the current epoch's raw
+	// observations before they are folded in at the announce slot.
+	neighborCHs   map[wire.NodeID]wire.Epoch
+	coverage      map[wire.NodeID]float64
+	epochCoverage map[wire.NodeID]int
+
+	// Per-epoch transient state.
+	heardUnmarked  map[wire.NodeID]bool // unmarked heartbeats heard this epoch
+	heardMarked    bool                 // any marked heartbeat heard this epoch
+	heardDeclare   bool                 // a CHDeclare was heard this epoch
+	heardAnnounce  bool                 // any ClusterAnnounce was heard this epoch
+	memberChanged  bool
+	declareTimer   sim.Timer
+	pendingDeclare bool
+	// deferCount counts consecutive epochs in which this unmarked host
+	// deferred declaring because an established cluster was within
+	// earshot. Bounded so a host covered only by ordinary members (never
+	// heard by a CH) still founds its own overlapping cluster.
+	deferCount int
+}
+
+// New returns a formation protocol with the given configuration.
+func New(cfg Config) *Protocol {
+	if !cfg.Timing.Valid() {
+		panic("cluster: invalid timing")
+	}
+	if cfg.MaxDCH < 1 {
+		cfg.MaxDCH = 1
+	}
+	return &Protocol{
+		cfg:           cfg,
+		heardUnmarked: make(map[wire.NodeID]bool),
+		members:       make(map[wire.NodeID]bool),
+		borderPeers:   make(map[wire.NodeID]map[wire.NodeID]wire.Epoch),
+		gwFlag:        make(map[wire.NodeID]bool),
+		otherCHs:      make(map[wire.NodeID]wire.Epoch),
+		gwCandidates:  make(map[pairKey]map[wire.NodeID]bool),
+		neighborCHs:   make(map[wire.NodeID]wire.Epoch),
+		coverage:      make(map[wire.NodeID]float64),
+		epochCoverage: make(map[wire.NodeID]int),
+	}
+}
+
+// Timing returns the protocol's timing so co-resident protocols can share
+// the epoch schedule.
+func (p *Protocol) Timing() Timing { return p.cfg.Timing }
+
+// Start implements node.Protocol: it enters the epoch loop at the next
+// epoch boundary. A host booted mid-run (replenishment, F4) waits for the
+// next heartbeat interval rather than replaying missed epochs.
+func (p *Protocol) Start(h *node.Host) {
+	p.host = h
+	e := p.cfg.Timing.EpochOf(h.Now())
+	if h.Now() > p.cfg.Timing.EpochStart(e) {
+		e++
+	}
+	p.epoch = e
+	p.scheduleEpoch(e)
+}
+
+func (p *Protocol) scheduleEpoch(e wire.Epoch) {
+	at := p.cfg.Timing.EpochStart(e)
+	delay := at - p.host.Now()
+	p.host.After(delay, func() { p.runEpoch(e) })
+}
+
+// runEpoch executes one iteration of the (never-terminating, F4) formation
+// algorithm for this host.
+func (p *Protocol) runEpoch(e wire.Epoch) {
+	p.epoch = e
+	p.heardUnmarked = make(map[wire.NodeID]bool)
+	p.heardMarked = false
+	p.heardDeclare = false
+	p.heardAnnounce = false
+	p.pendingDeclare = false
+	t := p.cfg.Timing
+
+	// Heartbeat diffusion (feature F5): one heartbeat per host per epoch,
+	// jittered within the first quarter of the round so concurrent
+	// transmissions are not artificially ordered and every heartbeat still
+	// lands within Thop. This single diffusion is simultaneously the
+	// formation probe, the membership subscription of unadmitted hosts,
+	// and round fds.R-1 of the failure detection service, which observes
+	// the same messages.
+	jitter := sim.Time(p.host.Rand().Int63n(int64(t.Thop)/4 + 1))
+	p.host.After(jitter, func() {
+		p.host.Send(&wire.Heartbeat{NID: p.host.ID(), Epoch: e, Marked: p.marked})
+	})
+
+	if !p.marked {
+		// Election decision at the end of the probe round.
+		p.host.After(t.R1End(), func() { p.maybeDeclare(e) })
+	}
+
+	// Announce slot: clusterheads refresh the cluster organization when it
+	// changed or when unadmitted hosts are knocking.
+	p.host.After(t.R2End(), func() { p.maybeAnnounce(e) })
+
+	// Gateway registration slot.
+	p.host.After(t.R3End(), func() { p.maybeRegisterGW(e) })
+
+	p.scheduleEpoch(e + 1)
+}
+
+// maybeDeclare runs the lowest-ID qualifying policy: an unmarked host that
+// heard no unmarked neighbor with a lower NID during the probe round
+// declares itself clusterhead, after an RCC-style random backoff that yields
+// to any declaration heard in the meantime.
+func (p *Protocol) maybeDeclare(e wire.Epoch) {
+	if p.marked || p.heardDeclare {
+		return
+	}
+	if (p.heardAnnounce || p.heardMarked) && p.deferCount < 2 {
+		// An established cluster is within earshot; prefer admission by
+		// membership subscription (F5) over spawning an overlapping
+		// cluster. The deferral is bounded: a host that keeps hearing
+		// members but is never admitted (it is outside every CH's range)
+		// eventually founds its own cluster, as F4's open end intends.
+		p.deferCount++
+		return
+	}
+	for id := range p.heardUnmarked {
+		if id < p.host.ID() {
+			return // not the lowest unmarked node in the neighborhood
+		}
+	}
+	backoffMax := int64(float64(p.cfg.Timing.Thop) * p.cfg.DeclareBackoffFrac)
+	if backoffMax < 1 {
+		backoffMax = 1
+	}
+	backoff := sim.Time(p.host.Rand().Int63n(backoffMax))
+	p.pendingDeclare = true
+	p.declareTimer = p.host.After(backoff, func() {
+		if !p.pendingDeclare || p.marked || p.heardDeclare {
+			return
+		}
+		p.becomeCH(e)
+	})
+}
+
+// becomeCH turns the host into a clusterhead whose initial membership is
+// the set of unmarked neighbors heard this epoch.
+func (p *Protocol) becomeCH(e wire.Epoch) {
+	p.marked = true
+	p.deferCount = 0
+	p.isCH = true
+	p.myCH = p.host.ID()
+	p.members = map[wire.NodeID]bool{p.host.ID(): true}
+	for id := range p.heardUnmarked {
+		p.members[id] = true
+	}
+	p.memberChanged = true
+	p.host.Send(&wire.CHDeclare{CH: p.host.ID(), Iteration: uint32(e)})
+	p.host.Trace(trace.TypeCHElected, "")
+}
+
+// maybeAnnounce broadcasts the cluster-organization announcement from a CH.
+// The announcement is refreshed every epoch: it admits subscribing hosts,
+// carries the deputy ranking re-derived from this epoch's digest coverage
+// (a well-covered deputy keeps the gateways within reach after a takeover —
+// the concern behind the paper's DCH reachability study), and repairs any
+// member's view that lost an earlier announcement to the channel. A deputy
+// that never learns its role means nobody watches the CH, so the refresh is
+// what makes CH-failure detection robust under sustained loss.
+func (p *Protocol) maybeAnnounce(e wire.Epoch) {
+	if !p.isCH {
+		return
+	}
+	for id := range p.heardUnmarked {
+		p.members[id] = true
+	}
+	p.foldCoverage()
+	p.rankDCHs()
+	p.memberChanged = false
+	ann := &wire.ClusterAnnounce{
+		CH:      p.host.ID(),
+		Epoch:   e,
+		Members: p.sortedMembers(),
+		DCHs:    append([]wire.NodeID(nil), p.dchs...),
+	}
+	p.host.Send(ann)
+	p.host.Trace(trace.TypeClusterFormed, "")
+}
+
+// foldCoverage folds the epoch's raw digest sizes into the smoothed
+// per-member coverage (EWMA with decay for members whose digest was lost).
+func (p *Protocol) foldCoverage() {
+	const alpha = 0.3
+	for id := range p.members {
+		if id == p.host.ID() {
+			continue
+		}
+		obs := float64(p.epochCoverage[id])
+		p.coverage[id] = (1-alpha)*p.coverage[id] + alpha*obs
+	}
+	p.epochCoverage = make(map[wire.NodeID]int)
+}
+
+// rankDCHs (re)designates the deputy clusterheads: members ranked by
+// smoothed digest coverage (how many cluster members they hear — a proxy
+// for centrality, which is what makes a deputy able to stand in for the
+// CH), with NID as the deterministic tiebreak. Incumbent deputies keep
+// their posts unless a challenger's coverage is decisively better
+// (hysteresis), so the ranking — and therefore every member's idea of who
+// watches the CH — stays stable under channel noise.
+func (p *Protocol) rankDCHs() {
+	candidates := make([]wire.NodeID, 0, len(p.members))
+	for id := range p.members {
+		if id != p.host.ID() {
+			candidates = append(candidates, id)
+		}
+	}
+	sort.Slice(candidates, func(i, j int) bool {
+		ci, cj := p.coverage[candidates[i]], p.coverage[candidates[j]]
+		if ci != cj {
+			return ci > cj
+		}
+		return candidates[i] < candidates[j]
+	})
+	if len(candidates) > p.cfg.MaxDCH {
+		candidates = candidates[:p.cfg.MaxDCH]
+	}
+	// Hysteresis: surviving incumbents keep their posts; vacancies are
+	// filled by the best challengers; at most one decisive replacement per
+	// epoch so all members' views stay convergent.
+	const challengeFactor = 1.5
+	inNext := make(map[wire.NodeID]bool, p.cfg.MaxDCH)
+	next := make([]wire.NodeID, 0, p.cfg.MaxDCH)
+	for _, d := range p.dchs {
+		if len(next) < p.cfg.MaxDCH && p.members[d] && d != p.host.ID() && !inNext[d] {
+			next = append(next, d)
+			inNext[d] = true
+		}
+	}
+	for _, c := range candidates {
+		if len(next) >= p.cfg.MaxDCH {
+			break
+		}
+		if !inNext[c] {
+			next = append(next, c)
+			inNext[c] = true
+		}
+	}
+	// The best outsider may displace the weakest seat holder, decisively.
+	var challenger wire.NodeID
+	for _, c := range candidates {
+		if !inNext[c] {
+			challenger = c
+			break
+		}
+	}
+	if challenger != wire.NoNode && len(next) > 0 {
+		weakest := 0
+		for i := range next {
+			if p.coverage[next[i]] < p.coverage[next[weakest]] {
+				weakest = i
+			}
+		}
+		if p.coverage[challenger] > challengeFactor*p.coverage[next[weakest]]+1 {
+			next[weakest] = challenger
+		}
+	}
+	p.dchs = next
+}
+
+// maybeRegisterGW broadcasts a gateway registration when this host hears
+// foreign clusterheads (feature F3: the registration names the single
+// affiliated cluster).
+func (p *Protocol) maybeRegisterGW(e wire.Epoch) {
+	if !p.marked || p.isCH {
+		return
+	}
+	others := p.currentOtherCHs(e)
+	if len(others) == 0 {
+		return
+	}
+	p.host.Send(&wire.GWRegister{GW: p.host.ID(), AffiliateCH: p.myCH, OtherCHs: others})
+	p.host.Trace(trace.TypeGWElected, "")
+	// Register ourselves as a candidate for each pair we bridge.
+	for _, oc := range others {
+		p.addGWCandidate(pairOf(p.myCH, oc), p.host.ID())
+	}
+}
+
+// currentOtherCHs returns the foreign CHs heard recently (within the last
+// few epochs), sorted.
+func (p *Protocol) currentOtherCHs(e wire.Epoch) []wire.NodeID {
+	const staleAfter = 3 // epochs
+	var out []wire.NodeID
+	for ch, last := range p.otherCHs {
+		if ch == p.myCH {
+			delete(p.otherCHs, ch)
+			continue
+		}
+		if uint64(e)-uint64(last) > staleAfter {
+			delete(p.otherCHs, ch)
+			continue
+		}
+		out = append(out, ch)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (p *Protocol) addGWCandidate(key pairKey, id wire.NodeID) {
+	set := p.gwCandidates[key]
+	if set == nil {
+		set = make(map[wire.NodeID]bool)
+		p.gwCandidates[key] = set
+	}
+	set[id] = true
+}
+
+// Handle implements node.Protocol.
+func (p *Protocol) Handle(h *node.Host, m wire.Message, from wire.NodeID) {
+	switch msg := m.(type) {
+	case *wire.Heartbeat:
+		p.onHeartbeat(msg)
+	case *wire.CHDeclare:
+		p.onDeclare(msg)
+	case *wire.ClusterAnnounce:
+		p.onAnnounce(msg)
+	case *wire.GWRegister:
+		p.onGWRegister(msg)
+	case *wire.Digest:
+		p.onDigest(msg)
+	case *wire.HealthUpdate:
+		p.onHealthUpdate(msg)
+	}
+}
+
+// onHealthUpdate keeps gateway candidacy fresh: a clusterhead transmits a
+// health update every epoch, so hearing a foreign CH's update directly
+// proves this host is still within its range (announcements alone would go
+// stale, since they are only sent when the organization changes).
+func (p *Protocol) onHealthUpdate(m *wire.HealthUpdate) {
+	if !p.marked || m.From != m.CH || m.CH == p.myCH {
+		return
+	}
+	p.otherCHs[m.CH] = p.epoch
+	if p.isCH {
+		p.neighborCHs[m.CH] = p.epoch
+	}
+}
+
+func (p *Protocol) onHeartbeat(m *wire.Heartbeat) {
+	if m.Epoch != p.epoch {
+		return
+	}
+	if m.Marked {
+		p.heardMarked = true
+	} else {
+		p.heardUnmarked[m.NID] = true
+	}
+}
+
+func (p *Protocol) onDeclare(m *wire.CHDeclare) {
+	p.heardDeclare = true
+	if p.pendingDeclare {
+		// RCC yield: a concurrent declaration wins; join it instead.
+		p.pendingDeclare = false
+		p.declareTimer.Cancel()
+	}
+}
+
+func (p *Protocol) onAnnounce(m *wire.ClusterAnnounce) {
+	p.heardAnnounce = true
+	listed := false
+	for _, id := range m.Members {
+		if id == p.host.ID() {
+			listed = true
+			break
+		}
+	}
+	switch {
+	case !p.marked && listed:
+		// Admission: first announcement listing us wins (F3 — exactly one
+		// affiliation).
+		p.marked = true
+		p.deferCount = 0
+		p.isCH = false
+		p.myCH = m.CH
+		p.setMembersFromAnnounce(m)
+	case p.marked && m.CH == p.myCH:
+		p.setMembersFromAnnounce(m)
+	case p.marked && m.CH != p.myCH:
+		// A foreign clusterhead within earshot: we are a gateway
+		// candidate between the two clusters.
+		p.otherCHs[m.CH] = p.epoch
+		if p.isCH {
+			p.neighborCHs[m.CH] = p.epoch
+		}
+	}
+}
+
+func (p *Protocol) setMembersFromAnnounce(m *wire.ClusterAnnounce) {
+	p.members = make(map[wire.NodeID]bool, len(m.Members))
+	for _, id := range m.Members {
+		p.members[id] = true
+	}
+	p.members[m.CH] = true
+	p.dchs = append([]wire.NodeID(nil), m.DCHs...)
+}
+
+func (p *Protocol) onGWRegister(m *wire.GWRegister) {
+	// Track candidates for every pair the registrant bridges, so backup
+	// gateways can rank themselves without extra coordination messages.
+	for _, oc := range m.OtherCHs {
+		p.addGWCandidate(pairOf(m.AffiliateCH, oc), m.GW)
+	}
+	if !p.isCH {
+		return
+	}
+	me := p.host.ID()
+	if m.AffiliateCH == me {
+		// One of our members serves as a gateway; remember its reach.
+		p.gwFlag[m.GW] = true
+		for _, oc := range m.OtherCHs {
+			p.neighborCHs[oc] = p.epoch
+		}
+		return
+	}
+	// The registrant is affiliated elsewhere. If an earlier announcement
+	// of ours listed it (simultaneous formation in the overlap), drop it:
+	// feature F3 gives each gateway exactly one home cluster.
+	for _, oc := range m.OtherCHs {
+		if oc == me {
+			if p.members[m.GW] {
+				delete(p.members, m.GW)
+				p.memberChanged = true
+			}
+			p.neighborCHs[m.AffiliateCH] = p.epoch
+		}
+	}
+}
+
+func (p *Protocol) onDigest(m *wire.Digest) {
+	if m.Epoch != p.epoch {
+		return
+	}
+	// A digest from a foreign cluster identifies a border peer: a member
+	// of an adjacent cluster within earshot.
+	if p.marked && m.CH != wire.NoNode && m.CH != p.myCH && m.CH != p.host.ID() {
+		peers := p.borderPeers[m.CH]
+		if peers == nil {
+			peers = make(map[wire.NodeID]wire.Epoch)
+			p.borderPeers[m.CH] = peers
+		}
+		peers[m.NID] = p.epoch
+	}
+	if p.isCH && p.members[m.NID] {
+		if m.CH != wire.NoNode && m.CH != p.host.ID() {
+			// The digest names a different home cluster: this host was
+			// admitted elsewhere (simultaneous formation in the overlap)
+			// and only remains in our list because the gateway
+			// registration was lost. Drop it — feature F3 gives every
+			// host exactly one affiliation — so it cannot be falsely
+			// detected or designated deputy here.
+			delete(p.members, m.NID)
+			delete(p.coverage, m.NID)
+			delete(p.epochCoverage, m.NID)
+			p.memberChanged = true
+			return
+		}
+		p.epochCoverage[m.NID] = len(m.Heard)
+	}
+}
+
+// BorderClusters returns the foreign clusterheads reachable only through a
+// border peer (i.e. excluding clusters this host hears directly), sorted.
+// Stale entries age out after a few epochs.
+func (p *Protocol) BorderClusters() []wire.NodeID {
+	const staleAfter = 3
+	var out []wire.NodeID
+	for ch, peers := range p.borderPeers {
+		for id, last := range peers {
+			if uint64(p.epoch)-uint64(last) > staleAfter {
+				delete(peers, id)
+			}
+		}
+		if len(peers) == 0 {
+			delete(p.borderPeers, ch)
+			continue
+		}
+		if ch == p.myCH {
+			continue
+		}
+		if _, direct := p.otherCHs[ch]; direct {
+			continue // a one-hop gateway path exists; prefer it
+		}
+		out = append(out, ch)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// IsBorderPeer reports whether id is a known member of the foreign cluster
+// headed by ch within this host's earshot.
+func (p *Protocol) IsBorderPeer(ch, id wire.NodeID) bool {
+	_, ok := p.borderPeers[ch][id]
+	return ok
+}
+
+// --- mutators invoked by the failure detection service --------------------
+
+// NoteFailed removes failed hosts from the cluster composition. The FDS
+// calls it on the CH when it detects failures and on members when they
+// process a health-status update.
+func (p *Protocol) NoteFailed(ids []wire.NodeID) {
+	for _, id := range ids {
+		if p.members[id] {
+			delete(p.members, id)
+			if p.isCH {
+				p.memberChanged = true
+			}
+		}
+		delete(p.coverage, id)
+		delete(p.epochCoverage, id)
+		delete(p.gwFlag, id)
+		for i, d := range p.dchs {
+			if d == id {
+				p.dchs = append(p.dchs[:i:i], p.dchs[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// Readmit restores a host to the cluster composition after a false
+// detection is rescinded (the FDS heard a heartbeat from a host it believed
+// failed — impossible under fail-stop unless the detection was false).
+func (p *Protocol) Readmit(id wire.NodeID) {
+	if !p.isCH || p.members[id] {
+		return
+	}
+	p.members[id] = true
+	p.memberChanged = true
+}
+
+// Demote reverts the host to the unmarked state so it re-enters cluster
+// formation at the next epoch (feature F4 treats it like a newly arrived
+// host). The FDS calls it when a member has been orphaned — no health
+// update and no clusterhead heartbeat for several consecutive epochs,
+// meaning the CH and every deputy are gone.
+func (p *Protocol) Demote() {
+	p.marked = false
+	p.isCH = false
+	p.myCH = wire.NoNode
+	p.members = make(map[wire.NodeID]bool)
+	p.dchs = nil
+}
+
+// TakeOver promotes this host (a deputy clusterhead) to clusterhead after
+// it detected the CH's failure. The FDS calls it at the end of fds.R-3.
+func (p *Protocol) TakeOver() {
+	old := p.myCH
+	p.isCH = true
+	p.myCH = p.host.ID()
+	delete(p.members, old)
+	p.members[p.host.ID()] = true
+	for i, d := range p.dchs {
+		if d == p.host.ID() {
+			p.dchs = append(p.dchs[:i:i], p.dchs[i+1:]...)
+			break
+		}
+	}
+	p.memberChanged = true
+	p.host.Trace(trace.TypeTakeover, old.String())
+}
+
+// NoteNewCH records that leadership moved to newCH (a takeover update was
+// received). A clusterhead receiving this for its own cluster has been
+// falsely detected; it reasserts by scheduling a fresh announcement, which
+// is how the (rare) conflicting-reports scenario of Section 4.2 resolves.
+func (p *Protocol) NoteNewCH(oldCH, newCH wire.NodeID) {
+	if p.isCH && oldCH == p.host.ID() {
+		p.memberChanged = true // reassert at the next announce slot
+		return
+	}
+	if !p.marked || p.myCH != oldCH {
+		return
+	}
+	p.myCH = newCH
+	delete(p.members, oldCH)
+	p.members[newCH] = true
+	for i, d := range p.dchs {
+		if d == newCH {
+			p.dchs = append(p.dchs[:i:i], p.dchs[i+1:]...)
+			break
+		}
+	}
+}
+
+// --- queries ----------------------------------------------------------------
+
+// View returns a snapshot of the host's cluster state.
+func (p *Protocol) View() View {
+	v := View{
+		Epoch:  p.epoch,
+		Marked: p.marked,
+		CH:     p.myCH,
+		IsCH:   p.isCH,
+	}
+	if p.marked {
+		v.Members = p.sortedMembers()
+		v.DCHs = append([]wire.NodeID(nil), p.dchs...)
+		v.OtherCHs = p.currentOtherCHs(p.epoch)
+	}
+	return v
+}
+
+// NeighborCHs returns the clusterheads of neighboring clusters known to
+// this CH, sorted. Empty for non-CHs.
+func (p *Protocol) NeighborCHs() []wire.NodeID {
+	if !p.isCH {
+		return nil
+	}
+	const staleAfter = 5
+	var out []wire.NodeID
+	for ch, last := range p.neighborCHs {
+		if uint64(p.epoch)-uint64(last) > staleAfter {
+			delete(p.neighborCHs, ch)
+			continue
+		}
+		out = append(out, ch)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// GWRank returns this host's rank among the known gateway candidates
+// bridging clusters chA and chB (1 = primary gateway, 2 = first backup, …)
+// and the total number of candidates. ok is false when the host is not a
+// candidate for that pair.
+func (p *Protocol) GWRank(chA, chB wire.NodeID) (rank, n int, ok bool) {
+	set := p.gwCandidates[pairOf(chA, chB)]
+	if !set[p.host.ID()] {
+		return 0, len(set), false
+	}
+	ids := make([]wire.NodeID, 0, len(set))
+	for id := range set {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for i, id := range ids {
+		if id == p.host.ID() {
+			return i + 1, len(ids), true
+		}
+	}
+	return 0, len(ids), false
+}
+
+// GatewayCandidates returns the known gateway candidates between chA and
+// chB, sorted by NID (the primary gateway first).
+func (p *Protocol) GatewayCandidates(chA, chB wire.NodeID) []wire.NodeID {
+	set := p.gwCandidates[pairOf(chA, chB)]
+	ids := make([]wire.NodeID, 0, len(set))
+	for id := range set {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func (p *Protocol) sortedMembers() []wire.NodeID {
+	ids := make([]wire.NodeID, 0, len(p.members))
+	for id := range p.members {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// --- test/scenario support ---------------------------------------------------
+
+// InstallStaticView force-installs a cluster state, bypassing formation.
+// The Monte-Carlo harness uses it to study a single FDS execution on a
+// known cluster, exactly as the paper's per-cluster analysis does.
+func (p *Protocol) InstallStaticView(ch wire.NodeID, members, dchs []wire.NodeID, self wire.NodeID) {
+	p.marked = true
+	p.myCH = ch
+	p.isCH = ch == self
+	p.members = make(map[wire.NodeID]bool, len(members))
+	for _, id := range members {
+		p.members[id] = true
+	}
+	p.members[ch] = true
+	p.dchs = append([]wire.NodeID(nil), dchs...)
+}

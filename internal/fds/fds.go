@@ -1,0 +1,733 @@
+// Package fds implements the paper's core contribution: the heartbeat-style,
+// cluster-based failure detection service of Section 4.
+//
+// Every heartbeat interval φ the service executes three rounds, each bounded
+// by Thop:
+//
+//	fds.R-1  Heartbeat exchange. Every node diffuses a heartbeat (emitted by
+//	         the co-resident cluster protocol, feature F5); the CH and a
+//	         subset of the members hear or overhear each heartbeat.
+//	fds.R-2  Digest exchange. Every node reports which in-cluster heartbeats
+//	         it heard; the CH broadcasts its own digest.
+//	fds.R-3  Health-status update. The CH applies the failure detection rule
+//	         and broadcasts the cluster health status.
+//
+// Failure detection rule (Section 4.2): node v failed iff the CH received
+// neither v's heartbeat (R-1) nor v's digest (R-2), and no received digest
+// reflects awareness of v's heartbeat. The rule exploits time redundancy
+// (two chances per node), spatial redundancy (dense clusters), and the
+// inherent message redundancy of promiscuous receiving.
+//
+// CH-failure rule: the highest-ranked deputy clusterhead applies the same
+// logic to the CH, with a third condition — the R-3 update was also missed —
+// and takes over at the end of fds.R-3 if the CH is gone.
+//
+// Completeness enhancement: a member that missed the R-3 update broadcasts a
+// forwarding request; peers holding the update answer after unique,
+// energy-aware waiting periods (energy-balanced peer forwarding) and stand
+// down when they overhear the requester's acknowledgment.
+package fds
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"clusterfds/internal/cluster"
+	"clusterfds/internal/membership"
+	"clusterfds/internal/node"
+	"clusterfds/internal/sim"
+	"clusterfds/internal/trace"
+	"clusterfds/internal/wire"
+)
+
+// Config parameterizes the failure detection service.
+type Config struct {
+	// Timing must equal the cluster protocol's timing (shared epochs).
+	Timing cluster.Timing
+	// PeerForwarding enables the intra-cluster completeness enhancement.
+	// The ablation benchmarks switch it off to quantify its contribution.
+	PeerForwarding bool
+	// RescindPropagation spreads withdrawn false detections system-wide:
+	// when a CH hears a heartbeat from a node it had announced as failed
+	// (proof of a false detection, under fail-stop), it lists the node in
+	// its next health update's Rescinded field and the gateways carry the
+	// rescission across clusters like a failure report. This extension
+	// goes beyond the paper, which leaves remote views permanently
+	// poisoned by a false detection; DESIGN.md discusses the trade-off.
+	RescindPropagation bool
+	// StrictModelMode disables the implementation's bonus evidence paths
+	// that the paper's analytic model does not credit (currently: adopting
+	// an overheard forwarded update addressed to another requester). The
+	// Monte-Carlo validation enables it so measured rates match the
+	// formulas exactly; production configurations leave it off.
+	StrictModelMode bool
+	// OrphanEpochs is how many consecutive epochs without a health update
+	// or a CH heartbeat a member tolerates before concluding its cluster
+	// has dissolved and re-entering formation.
+	OrphanEpochs int
+	// OrphanTakeover lets the lowest-NID surviving member of an orphaned
+	// cluster declare the silent CH failed and take over, instead of the
+	// cluster dissolving silently. It is the last line of defense when
+	// every deputy's view was desynchronized at the moment the CH died;
+	// the multi-epoch silence requirement keeps its false-positive
+	// probability around P̂(False detection)^OrphanEpochs.
+	OrphanTakeover bool
+	// ReferenceEnergy scales the energy-aware forwarding backoff: peers
+	// with more remaining energy than this wait less.
+	ReferenceEnergy float64
+}
+
+// DefaultConfig returns the configuration used by the experiments.
+func DefaultConfig(t cluster.Timing) Config {
+	return Config{
+		Timing:             t,
+		PeerForwarding:     true,
+		RescindPropagation: true,
+		OrphanTakeover:     true,
+		OrphanEpochs:       3,
+		ReferenceEnergy:    100000,
+	}
+}
+
+// Protocol is the per-host failure detection service. It observes the same
+// promiscuous message stream as the cluster protocol and mutates the cluster
+// view through the latter's exported methods.
+type Protocol struct {
+	cfg     Config
+	host    *node.Host
+	cluster *cluster.Protocol
+	view    membership.View
+
+	epoch    wire.Epoch
+	snapshot cluster.View // role snapshot taken at epoch start
+	active   bool         // participating this epoch (marked at epoch start)
+
+	// R-1 evidence: in-cluster heartbeats heard this epoch.
+	heardHB map[wire.NodeID]bool
+
+	// CH evidence (also collected by DCHs, which overhear everything the
+	// CH does thanks to promiscuous receiving).
+	digestFrom    map[wire.NodeID]bool // members whose digest arrived
+	aliveInDigest map[wire.NodeID]bool // nodes some received digest lists
+
+	// Member evidence.
+	updateReceived bool
+	update         *wire.HealthUpdate
+	missedUpdates  int
+	ackedForward   bool
+
+	// Peer-forwarding responder state.
+	forwardTimers map[wire.NodeID]sim.Timer
+
+	// pendingRescind collects false detections withdrawn since the last
+	// health update (CH only; announced in the next update's Rescinded).
+	// Each entry keeps the epoch of the withdrawn detection so relayed
+	// rescissions cannot cancel later, genuine detections.
+	pendingRescind []wire.Rescission
+
+	// conflictSeen counts takeover updates received for a cluster this
+	// host heads while operational — the paper's "conflicting reports"
+	// scenario (Section 4.2).
+	conflictSeen int
+
+	// readingSource, when set, supplies a sensor measurement to piggyback
+	// on each epoch's digest — the Section 6 "message sharing between
+	// failure detection and data aggregation". See package aggregate.
+	readingSource func(wire.Epoch) (float64, bool)
+
+	// sleepUntil excuses announced sleepers from the detection rule until
+	// their declared wake epoch (Section 6: reducing sleep-mode-caused
+	// false detections). See package sleep.
+	sleepUntil map[wire.NodeID]wire.Epoch
+}
+
+// New returns an FDS bound to the given co-resident cluster protocol.
+func New(cfg Config, cl *cluster.Protocol) *Protocol {
+	if cl == nil {
+		panic("fds: nil cluster protocol")
+	}
+	if !cfg.Timing.Valid() {
+		panic("fds: invalid timing")
+	}
+	if cfg.OrphanEpochs < 1 {
+		cfg.OrphanEpochs = 1
+	}
+	if cfg.ReferenceEnergy <= 0 {
+		cfg.ReferenceEnergy = 1
+	}
+	return &Protocol{
+		cfg:           cfg,
+		cluster:       cl,
+		heardHB:       make(map[wire.NodeID]bool),
+		digestFrom:    make(map[wire.NodeID]bool),
+		aliveInDigest: make(map[wire.NodeID]bool),
+		forwardTimers: make(map[wire.NodeID]sim.Timer),
+		sleepUntil:    make(map[wire.NodeID]wire.Epoch),
+	}
+}
+
+// Start implements node.Protocol: it enters the epoch loop at the next
+// epoch boundary.
+func (p *Protocol) Start(h *node.Host) {
+	p.host = h
+	e := p.cfg.Timing.EpochOf(h.Now())
+	if h.Now() > p.cfg.Timing.EpochStart(e) {
+		e++
+	}
+	p.scheduleEpoch(e)
+}
+
+func (p *Protocol) scheduleEpoch(e wire.Epoch) {
+	at := p.cfg.Timing.EpochStart(e)
+	p.host.After(at-p.host.Now(), func() { p.runEpoch(e) })
+}
+
+// runEpoch executes one FDS execution for this host.
+func (p *Protocol) runEpoch(e wire.Epoch) {
+	p.finishEpoch() // settle orphan accounting for the epoch that just ended
+	p.epoch = e
+	p.snapshot = p.cluster.View()
+	p.active = p.snapshot.Marked
+	p.heardHB = make(map[wire.NodeID]bool)
+	p.digestFrom = make(map[wire.NodeID]bool)
+	p.aliveInDigest = make(map[wire.NodeID]bool)
+	p.updateReceived = false
+	p.update = nil
+	p.ackedForward = false
+	p.cancelForwardTimers()
+	t := p.cfg.Timing
+
+	p.scheduleEpoch(e + 1)
+	if !p.active {
+		return
+	}
+	p.host.Trace(trace.TypeEpochStart, fmt.Sprintf("epoch=%d ch=%v", e, p.snapshot.CH))
+
+	// The R-1 heartbeat itself is emitted by the cluster protocol (F5).
+
+	// fds.R-2: digest exchange.
+	jitter := sim.Time(p.host.Rand().Int63n(int64(t.Thop)/4 + 1))
+	p.host.After(t.R1End()+jitter, func() { p.sendDigest(e) })
+
+	if p.snapshot.IsCH {
+		// fds.R-3: apply the detection rule and broadcast the update.
+		p.host.After(t.R2End(), func() { p.detectAndAnnounce(e) })
+		return
+	}
+
+	// Deputy clusterheads watch the CH. The highest-ranked deputy decides
+	// at the end of fds.R-3; lower-ranked deputies wait one extra round
+	// per rank (longer than any delivery delay) so they only act if their
+	// predecessors' takeover updates never appear.
+	if rank := p.dchRank(); rank > 0 {
+		delay := t.R3End() + sim.Time(rank-1)*t.Thop
+		p.host.After(delay, func() { p.checkCHFailure(e) })
+	}
+
+	// Members that reach the end of fds.R-3 without the health update ask
+	// peers for it. The request waits out the full deputy cascade so a
+	// takeover update still counts as "received".
+	if p.cfg.PeerForwarding {
+		wait := t.R3End() + sim.Time(len(p.snapshot.DCHs))*t.Thop + t.Thop/2
+		p.host.After(wait, func() { p.maybeRequestForward(e) })
+	}
+}
+
+// finishEpoch performs end-of-epoch accounting for orphan detection: a
+// member that saw neither a health update nor its CH's heartbeat this epoch
+// counts a miss; enough consecutive misses demote it back to formation.
+func (p *Protocol) finishEpoch() {
+	if !p.active || p.snapshot.IsCH {
+		return
+	}
+	if p.updateReceived || p.heardHB[p.snapshot.CH] {
+		p.missedUpdates = 0
+		return
+	}
+	p.missedUpdates++
+	if p.missedUpdates < p.cfg.OrphanEpochs {
+		return
+	}
+	p.missedUpdates = 0
+	ch := p.snapshot.CH
+	if p.cfg.OrphanTakeover && !p.view.IsFailed(ch) && p.lowestSurvivingMember() {
+		// Last-resort takeover: several epochs of total CH silence (no
+		// heartbeat, no update, epoch after epoch) mean the CH and every
+		// functioning deputy are gone; report the failure rather than let
+		// the cluster dissolve without a trace.
+		p.view.MarkFailed(ch, p.epoch, p.host.Now())
+		p.host.Trace(trace.TypeDetect, ch.String())
+		p.cluster.TakeOver()
+		p.host.Send(&wire.HealthUpdate{
+			From:      p.host.ID(),
+			CH:        ch,
+			Epoch:     p.epoch,
+			NewFailed: []wire.NodeID{ch},
+			AllFailed: p.view.Failed(),
+			Takeover:  true,
+		})
+		return
+	}
+	p.cluster.Demote()
+	p.host.Trace(trace.TypeViewUpdate, "orphaned: re-entering formation")
+}
+
+// lowestSurvivingMember reports whether this host has the lowest NID among
+// the members demonstrably alive — those whose heartbeat it heard in the
+// epoch that just ended (a silent member may be as dead as the CH, so only
+// heard members count as rivals). It is evaluated from finishEpoch, before
+// the per-epoch evidence resets.
+func (p *Protocol) lowestSurvivingMember() bool {
+	me := p.host.ID()
+	for _, id := range p.snapshot.Members {
+		if id == me || id == p.snapshot.CH || p.view.IsFailed(id) {
+			continue
+		}
+		if id < me && p.heardHB[id] {
+			return false
+		}
+	}
+	return true
+}
+
+// dchRank returns this host's 1-based rank among the snapshot's deputy
+// clusterheads, or 0 if it is not a deputy.
+func (p *Protocol) dchRank() int {
+	for i, d := range p.snapshot.DCHs {
+		if d == p.host.ID() {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// sendDigest broadcasts this host's fds.R-2 digest: the in-cluster
+// heartbeats heard during fds.R-1.
+func (p *Protocol) sendDigest(e wire.Epoch) {
+	heard := make([]wire.NodeID, 0, len(p.heardHB))
+	for id := range p.heardHB {
+		if p.snapshot.IsMember(id) {
+			heard = append(heard, id)
+		}
+	}
+	sort.Slice(heard, func(i, j int) bool { return heard[i] < heard[j] })
+	d := &wire.Digest{NID: p.host.ID(), CH: p.snapshot.CH, Epoch: e, Heard: heard}
+	if p.readingSource != nil {
+		if v, ok := p.readingSource(e); ok {
+			d.HasReading = true
+			d.Reading = v
+		}
+	}
+	p.host.Send(d)
+}
+
+// SetReadingSource registers a sampler whose value rides each epoch's
+// digest (the aggregation service's hook; see package aggregate). Passing
+// nil removes the source.
+func (p *Protocol) SetReadingSource(src func(wire.Epoch) (float64, bool)) {
+	p.readingSource = src
+}
+
+// detectAndAnnounce applies the failure detection rule on the CH and
+// broadcasts the health-status update (fds.R-3).
+//
+// Rule: v failed iff (1) the CH received neither v's heartbeat in fds.R-1
+// nor v's digest in fds.R-2, and (2) no received digest reflects a member's
+// awareness of v's heartbeat.
+func (p *Protocol) detectAndAnnounce(e wire.Epoch) {
+	var newFailed []wire.NodeID
+	for _, v := range p.snapshot.Members {
+		if v == p.host.ID() || p.view.IsFailed(v) || p.excused(v, e) {
+			continue
+		}
+		if !p.heardHB[v] && !p.digestFrom[v] && !p.aliveInDigest[v] {
+			newFailed = append(newFailed, v)
+		}
+	}
+	for _, v := range newFailed {
+		p.view.MarkFailed(v, e, p.host.Now())
+		p.host.Trace(trace.TypeDetect, v.String())
+	}
+	if len(newFailed) > 0 {
+		p.cluster.NoteFailed(newFailed)
+	}
+	up := &wire.HealthUpdate{
+		From:      p.host.ID(),
+		CH:        p.host.ID(),
+		Epoch:     e,
+		NewFailed: newFailed,
+		AllFailed: p.view.Failed(),
+		Rescinded: p.pendingRescind,
+	}
+	p.pendingRescind = nil
+	// The CH is the update's origin: record it as received so queries and
+	// the inter-cluster forwarder see a uniform "this epoch's update".
+	p.update = up
+	p.updateReceived = true
+	p.host.Send(up)
+}
+
+// checkCHFailure applies the CH-failure detection rule on a deputy
+// clusterhead at (or after, for lower ranks) the end of fds.R-3.
+//
+// Rule: the CH failed iff (1) the DCH received neither the CH's heartbeat in
+// fds.R-1 nor the CH's digest in fds.R-2, (2) no received digest reflects
+// awareness of the CH's heartbeat, and (3) the health-status update did not
+// arrive in fds.R-3.
+func (p *Protocol) checkCHFailure(e wire.Epoch) {
+	ch := p.snapshot.CH
+	if p.updateReceived || p.heardHB[ch] || p.digestFrom[ch] || p.aliveInDigest[ch] {
+		return
+	}
+	if p.view.IsFailed(ch) {
+		return
+	}
+	// The CH is judged failed: take over and broadcast the update.
+	p.view.MarkFailed(ch, e, p.host.Now())
+	p.host.Trace(trace.TypeDetect, ch.String())
+	p.cluster.TakeOver()
+	p.snapshot = p.cluster.View()
+	p.updateReceived = true // we originated this epoch's update
+	up := &wire.HealthUpdate{
+		From:      p.host.ID(),
+		CH:        ch,
+		Epoch:     e,
+		NewFailed: []wire.NodeID{ch},
+		AllFailed: p.view.Failed(),
+		Takeover:  true,
+	}
+	p.update = up
+	p.host.Send(up)
+}
+
+// maybeRequestForward runs at the member's report-receiving timeout: if the
+// health update never arrived, broadcast a forwarding request.
+func (p *Protocol) maybeRequestForward(e wire.Epoch) {
+	if p.updateReceived {
+		return
+	}
+	p.host.Send(&wire.ForwardRequest{NID: p.host.ID(), Epoch: e})
+}
+
+// Handle implements node.Protocol.
+func (p *Protocol) Handle(h *node.Host, m wire.Message, from wire.NodeID) {
+	switch msg := m.(type) {
+	case *wire.Heartbeat:
+		p.onHeartbeat(msg)
+	case *wire.Digest:
+		p.onDigest(msg)
+	case *wire.HealthUpdate:
+		p.onHealthUpdate(msg, false)
+	case *wire.ForwardRequest:
+		p.onForwardRequest(msg)
+	case *wire.ForwardedUpdate:
+		p.onForwardedUpdate(msg)
+	case *wire.ForwardAck:
+		p.onForwardAck(msg)
+	case *wire.FailureReport:
+		p.onFailureReport(msg)
+	case *wire.SleepNotice:
+		p.onSleepNotice(msg)
+	}
+}
+
+// onSleepNotice excuses the announced sleeper from failure detection until
+// its declared wake epoch: a silent-by-appointment member is not a failed
+// member. Deputies record excusals too (they may take over mid-nap).
+func (p *Protocol) onSleepNotice(m *wire.SleepNotice) {
+	if m.Until <= m.Epoch {
+		return // malformed or already over
+	}
+	if until, ok := p.sleepUntil[m.NID]; !ok || m.Until > until {
+		p.sleepUntil[m.NID] = m.Until
+	}
+}
+
+// excused reports whether v is an announced sleeper for epoch e (with one
+// epoch of wake grace, since the sleeper's first heartbeat after waking can
+// itself be lost).
+func (p *Protocol) excused(v wire.NodeID, e wire.Epoch) bool {
+	until, ok := p.sleepUntil[v]
+	if !ok {
+		return false
+	}
+	if e <= until {
+		return true
+	}
+	delete(p.sleepUntil, v) // nap over; stop excusing
+	return false
+}
+
+func (p *Protocol) onHeartbeat(m *wire.Heartbeat) {
+	if m.Epoch != p.epoch {
+		return
+	}
+	p.heardHB[m.NID] = true
+	// Fail-stop rescue: any heartbeat from a host this node believed
+	// failed proves the belief was a false detection (crashed hosts never
+	// transmit). Forget the suspicion; if we are the CH, the sender's
+	// unmarked heartbeat re-admits it through the subscription path.
+	if rec, failed := p.view.Record(m.NID); failed {
+		p.view.Forget(m.NID)
+		if p.snapshot.IsCH {
+			p.cluster.Readmit(m.NID)
+			if p.cfg.RescindPropagation {
+				p.pendingRescind = appendUnique(p.pendingRescind,
+					wire.Rescission{Node: m.NID, Epoch: rec.Epoch})
+			}
+		}
+		p.host.Trace(trace.TypeViewUpdate, fmt.Sprintf("rescind %v", m.NID))
+	}
+}
+
+func (p *Protocol) onDigest(m *wire.Digest) {
+	if !p.active || m.Epoch != p.epoch {
+		return
+	}
+	p.digestFrom[m.NID] = true
+	for _, id := range m.Heard {
+		p.aliveInDigest[id] = true
+	}
+}
+
+// onHealthUpdate processes a health-status update, whether received directly
+// from the CH/DCH or via peer forwarding (forwarded=true).
+func (p *Protocol) onHealthUpdate(m *wire.HealthUpdate, forwarded bool) {
+	if !p.active {
+		// Still absorb the failure knowledge (see onFailureReport).
+		p.view.Merge(m.NewFailed, m.Epoch, p.host.Now())
+		p.view.Merge(m.AllFailed, 0, p.host.Now())
+		p.applyRescinds(m.Rescinded, m.Epoch)
+		p.view.Forget(p.host.ID())
+		return
+	}
+	mine := m.CH == p.snapshot.CH || m.From == p.snapshot.CH
+	if m.Takeover && m.CH == p.host.ID() && p.snapshot.IsCH {
+		// Conflicting reports: a deputy falsely judged this operational CH
+		// failed and announced a takeover. Reassert leadership.
+		p.conflictSeen++
+		p.cluster.NoteNewCH(p.host.ID(), p.host.ID())
+		p.host.Trace(trace.TypeFalseDetect, fmt.Sprintf("takeover by %v while alive", m.From))
+		return
+	}
+	if mine {
+		if m.Epoch == p.epoch && !p.updateReceived {
+			p.updateReceived = true
+			p.update = m
+		}
+		if m.Takeover {
+			p.cluster.NoteNewCH(m.CH, m.From)
+			p.snapshot.CH = m.From
+		}
+		local := append(append([]wire.NodeID(nil), m.NewFailed...), m.AllFailed...)
+		p.cluster.NoteFailed(local)
+	}
+	// Merge failure knowledge regardless of origin cluster: overheard
+	// foreign updates only improve completeness. Cumulative entries carry
+	// no detection epoch, so they are recorded as epoch 0 ("old"): any
+	// rescission may cancel them, and a genuine later detection arrives
+	// with its own NewFailed epoch through the report flood anyway.
+	p.view.Merge(m.NewFailed, m.Epoch, p.host.Now())
+	p.view.Merge(m.AllFailed, 0, p.host.Now())
+	p.applyRescinds(m.Rescinded, m.Epoch)
+	if p.view.IsFailed(p.host.ID()) {
+		// We are operational, so any claim of our own failure is a false
+		// detection; never believe it. Only when our OWN cluster's update
+		// disowns us do we re-enter formation (unmarked) so the next
+		// heartbeat diffusion re-admits us by subscription — a foreign
+		// cluster's stale list is corrected by rescind propagation, not by
+		// us abandoning our cluster.
+		p.view.Forget(p.host.ID())
+		if mine {
+			p.cluster.Demote()
+			p.active = false
+			p.host.Trace(trace.TypeFalseDetect, "self listed as failed")
+		}
+	}
+}
+
+// onForwardRequest implements the responder side of energy-balanced peer
+// forwarding: peers holding the update answer after unique, energy-aware
+// waiting periods.
+func (p *Protocol) onForwardRequest(m *wire.ForwardRequest) {
+	if !p.cfg.PeerForwarding || !p.active || m.Epoch != p.epoch {
+		return
+	}
+	if !p.updateReceived || p.update == nil {
+		return
+	}
+	if p.snapshot.IsCH {
+		// The paper prefers peer forwarding over CH retransmission for
+		// energy balancing; the CH leaves requests to the members.
+		return
+	}
+	if !p.snapshot.IsMember(m.NID) {
+		return
+	}
+	requester := m.NID
+	if t, ok := p.forwardTimers[requester]; ok && t.Active() {
+		return
+	}
+	wait := p.forwardWait()
+	upd := *p.update
+	p.forwardTimers[requester] = p.host.After(wait, func() {
+		p.host.Trace(trace.TypePeerForward, requester.String())
+		p.host.Send(&wire.ForwardedUpdate{
+			Forwarder: p.host.ID(),
+			Requester: requester,
+			Update:    upd,
+		})
+	})
+}
+
+// forwardWait computes this peer's waiting period for a requested forward
+// (Section 4.2, "Energy Considerations"). The period is unique per node —
+// it is staggered by the node's position in the sorted member list, and
+// NIDs are globally unique — and within its slot it shrinks as remaining
+// energy grows, so among equally-ranked peers across requests the
+// energy-rich volunteer sooner.
+//
+// The slot width (3·Thop) covers a complete forward + acknowledgment round
+// trip including delivery-delay skew, so when the first forward succeeds
+// every later peer overhears the ack before its own timer fires and stands
+// down without transmitting.
+func (p *Protocol) forwardWait() sim.Time {
+	slot := 3 * p.cfg.Timing.Thop
+	index := 1
+	for i, id := range p.snapshot.Members {
+		if id == p.host.ID() {
+			index = i + 1
+			break
+		}
+	}
+	// bias in [0, Thop/2): inversely related to remaining energy.
+	e := math.Max(p.host.Energy(), 0)
+	frac := p.cfg.ReferenceEnergy / (p.cfg.ReferenceEnergy + e) // 1 at E=0, ->0 as E grows
+	bias := sim.Time(float64(p.cfg.Timing.Thop) / 2 * frac)
+	return sim.Time(index-1)*slot + bias
+}
+
+func (p *Protocol) onForwardedUpdate(m *wire.ForwardedUpdate) {
+	if !p.active || m.Update.Epoch != p.epoch {
+		return
+	}
+	if m.Requester == p.host.ID() {
+		if !p.ackedForward {
+			p.ackedForward = true
+			p.host.Send(&wire.ForwardAck{NID: p.host.ID(), Epoch: p.epoch})
+		}
+		p.onHealthUpdate(&m.Update, true)
+		return
+	}
+	// Promiscuous bonus: any member still missing the update adopts an
+	// overheard forward (not credited by the analytic model, hence gated).
+	if !p.updateReceived && !p.cfg.StrictModelMode {
+		p.onHealthUpdate(&m.Update, true)
+	}
+}
+
+// onForwardAck stands down pending forwards for the acknowledged requester:
+// "the other neighbors will quit upon overhearing an acknowledgment".
+func (p *Protocol) onForwardAck(m *wire.ForwardAck) {
+	if m.Epoch != p.epoch {
+		return
+	}
+	if t, ok := p.forwardTimers[m.NID]; ok {
+		t.Cancel()
+		delete(p.forwardTimers, m.NID)
+	}
+}
+
+// onFailureReport merges inter-cluster failure news. Forwarding of the
+// report across the backbone is the intercluster package's concern; here we
+// only absorb the knowledge.
+func (p *Protocol) onFailureReport(m *wire.FailureReport) {
+	// Failure knowledge is merged unconditionally: a host that is still in
+	// (or back in) cluster formation when a report flood passes by would
+	// otherwise miss it forever, because reports are only re-flooded when
+	// new failures occur ("no news is good news").
+	p.view.Merge(m.NewFailed, m.Epoch, p.host.Now())
+	p.view.Merge(m.AllFailed, 0, p.host.Now())
+	p.applyRescinds(m.Rescinded, m.Epoch)
+	p.view.Forget(p.host.ID()) // we are alive, whatever the report claims
+	if p.active && p.snapshot.IsCH {
+		p.cluster.NoteFailed(append(append([]wire.NodeID(nil), m.NewFailed...), m.AllFailed...))
+	}
+}
+
+// applyRescinds withdraws suspicions a rescission proves false. A
+// rescission cancels only detections at or before ITS pinned epoch, so a
+// failure genuinely detected later survives every relayed echo.
+func (p *Protocol) applyRescinds(rs []wire.Rescission, _ wire.Epoch) {
+	if !p.cfg.RescindPropagation {
+		return
+	}
+	for _, r := range rs {
+		rec, ok := p.view.Record(r.Node)
+		if !ok || rec.Epoch > r.Epoch {
+			continue
+		}
+		p.view.Forget(r.Node)
+		if p.active && p.snapshot.IsCH {
+			// Keep relaying the correction on the CH's next update,
+			// preserving the original rescission epoch.
+			p.pendingRescind = appendUnique(p.pendingRescind, r)
+		}
+	}
+}
+
+// appendUnique appends r unless its node is already listed (lists are tiny).
+func appendUnique(rs []wire.Rescission, r wire.Rescission) []wire.Rescission {
+	for _, x := range rs {
+		if x.Node == r.Node {
+			return rs
+		}
+	}
+	return append(rs, r)
+}
+
+func (p *Protocol) cancelForwardTimers() {
+	for id, t := range p.forwardTimers {
+		t.Cancel()
+		delete(p.forwardTimers, id)
+	}
+}
+
+// --- queries -----------------------------------------------------------------
+
+// View returns the host's failure knowledge.
+func (p *Protocol) View() *membership.View { return &p.view }
+
+// KnownFailed returns the hosts this node believes failed, in NID order.
+func (p *Protocol) KnownFailed() []wire.NodeID { return p.view.Failed() }
+
+// IsSuspected reports whether this host believes id failed.
+func (p *Protocol) IsSuspected(id wire.NodeID) bool { return p.view.IsFailed(id) }
+
+// Epoch returns the current FDS epoch at this host.
+func (p *Protocol) Epoch() wire.Epoch { return p.epoch }
+
+// CurrentUpdate returns this epoch's health-status update as known to this
+// host (for the CH: the update it broadcast; for members: the one received),
+// and whether one exists yet.
+func (p *Protocol) CurrentUpdate() (wire.HealthUpdate, bool) {
+	if !p.updateReceived || p.update == nil {
+		return wire.HealthUpdate{}, false
+	}
+	return *p.update, true
+}
+
+// UpdateReceived reports whether this host obtained the current epoch's
+// health-status update (directly or via peer forwarding). The completeness
+// experiments sample it just before the next epoch begins.
+func (p *Protocol) UpdateReceived() bool { return p.updateReceived }
+
+// Active reports whether the host participated in the current epoch (it was
+// a marked cluster member at the epoch start).
+func (p *Protocol) Active() bool { return p.active }
+
+// Conflicts returns how many conflicting takeover announcements this host
+// observed for clusters it heads (the Section 4.2 conflicting-reports
+// scenario; expected to be extremely rare).
+func (p *Protocol) Conflicts() int { return p.conflictSeen }

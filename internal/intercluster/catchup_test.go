@@ -1,0 +1,123 @@
+package intercluster
+
+import (
+	"strings"
+	"testing"
+
+	"clusterfds/internal/cluster"
+	"clusterfds/internal/fds"
+	"clusterfds/internal/geo"
+	"clusterfds/internal/node"
+	"clusterfds/internal/trace"
+	"clusterfds/internal/wire"
+)
+
+// TestCatchUpOnNewAdjacency: a cluster that forms AFTER a failure's report
+// flood still learns of it when the established neighbors notice the new
+// adjacency and share their cumulative failed set.
+func TestCatchUpOnNewAdjacency(t *testing.T) {
+	// Start with clusters A and B; crash a member of A early; then boot a
+	// third population that forms cluster D adjacent to B only.
+	positions := []geo.Point{
+		{X: 0, Y: 0},     // n1 CH A
+		{X: 150, Y: 0},   // n2 CH B
+		{X: -20, Y: 10},  // n3 member A
+		{X: 20, Y: 30},   // n4 member A (victim)
+		{X: 75, Y: 0},    // n5 gateway A-B
+		{X: 180, Y: 30},  // n6 member B
+		{X: 180, Y: -30}, // n7 member B
+	}
+	w := buildWorld(t, 21, 0, nil, positions)
+	w.crashAtEpoch(3, 2) // crash n4 mid-epoch 2; report floods at epoch 3
+
+	// The late cluster D: three hosts east of B, booted during epoch 5,
+	// bridged to B by n8 which hears CH B.
+	late := []geo.Point{
+		{X: 225, Y: 0},  // n8: hears CH B (75 m) and will bridge to D
+		{X: 300, Y: 0},  // n9: CH D
+		{X: 320, Y: 30}, // n10: member D
+	}
+	for i, pos := range late {
+		id := wire.NodeID(8 + i)
+		h, cl, f, fw := newStackHost(t, w, id, pos)
+		_ = cl
+		_ = fw
+		w.hosts = append(w.hosts, h)
+		w.fdss = append(w.fdss, f)
+		at := w.timing.EpochStart(5) + w.timing.Interval/4
+		w.kernel.At(at, func() { h.Boot() })
+	}
+	w.runUntilEpoch(14)
+
+	// The late hosts never heard the epoch-3 flood; the catch-up report on
+	// the new B<->D adjacency must deliver the old news.
+	for i := 7; i < 10; i++ {
+		if w.hosts[i].Crashed() {
+			continue
+		}
+		if !w.fdss[i].IsSuspected(4) {
+			t.Errorf("late host n%d never learned the pre-formation failure of n4", i+1)
+		}
+	}
+	// And a catch-up transmission must actually have been traced.
+	found := false
+	for _, e := range w.tracer.OfType(trace.TypeReportForward) {
+		if strings.HasPrefix(e.Detail, "catch-up") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("no catch-up report traced")
+	}
+}
+
+// TestNoCatchUpWithoutHistory: new adjacencies in a failure-free network
+// must not generate any reports.
+func TestNoCatchUpWithoutHistory(t *testing.T) {
+	w := buildWorld(t, 22, 0, nil, threeClusterChain())
+	w.runUntilEpoch(8)
+	if n := w.medium.Sent(wire.KindFailureReport); n != 0 {
+		t.Errorf("%d failure reports in a failure-free network", n)
+	}
+}
+
+// TestReportFromUpdateCanonical: all gateways must derive identical report
+// content from the same update, or de-duplication breaks.
+func TestReportFromUpdateCanonical(t *testing.T) {
+	up := &wire.HealthUpdate{
+		From: 3, CH: 3, Epoch: 7,
+		NewFailed: []wire.NodeID{9},
+		AllFailed: []wire.NodeID{9, 4},
+		Rescinded: []wire.Rescission{{Node: 2, Epoch: 5}},
+	}
+	a, b := reportFromUpdate(up), reportFromUpdate(up)
+	if a.OriginCH != 3 || a.Seq != 7 || a.Epoch != 7 {
+		t.Errorf("report identity wrong: %+v", a)
+	}
+	if len(a.NewFailed) != 1 || len(a.AllFailed) != 2 || len(a.Rescinded) != 1 {
+		t.Errorf("report content wrong: %+v", a)
+	}
+	// Mutating one must not affect the other (deep copies).
+	a.AllFailed[0] = 99
+	if b.AllFailed[0] == 99 {
+		t.Error("reports share slices")
+	}
+	if up.AllFailed[0] == 99 {
+		t.Error("report aliases the update")
+	}
+}
+
+// newStackHost builds (without booting) a full-stack host in an existing
+// test world.
+func newStackHost(t *testing.T, w *world, id wire.NodeID, pos geo.Point) (*node.Host, *cluster.Protocol, *fds.Protocol, *Protocol) {
+	t.Helper()
+	h := node.New(w.kernel, w.medium, id, pos, node.WithTrace(w.tracer))
+	cl := cluster.New(cluster.DefaultConfig())
+	f := fds.New(fds.DefaultConfig(w.timing), cl)
+	fw := New(DefaultConfig(w.timing), cl, f)
+	h.Use(cl)
+	h.Use(f)
+	h.Use(fw)
+	return h, cl, f, fw
+}

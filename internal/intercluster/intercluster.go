@@ -1,0 +1,606 @@
+// Package intercluster implements Section 4.3: robust, energy-frugal
+// forwarding of failure reports across the cluster backbone.
+//
+// When a cluster's health-status update announces newly detected failures,
+// the gateways bridging that cluster to its neighbors forward the update as
+// a FailureReport to the neighboring clusterheads. Each receiving
+// clusterhead rebroadcasts the report once, which simultaneously (a) relays
+// it toward its own gateways for further flooding and (b) serves as the
+// *implicit acknowledgment* the upstream forwarders are listening for —
+// explicit acknowledgments would double the message count, which the paper
+// rules out on energy grounds.
+//
+// Loss tolerance per hop:
+//
+//   - A clusterhead that transmitted a report expects to overhear a gateway
+//     forwarding it toward each neighboring cluster within 2·Thop and
+//     retransmits (a bounded number of times) otherwise.
+//   - The primary gateway forwards immediately, waits (n+1)·2·Thop for the
+//     downstream CH's implicit ack, and re-forwards once if it never comes.
+//   - Backup gateways (rank k = 1..n−1 among the remaining candidates) arm
+//     timers of k·2·Thop; if neither the primary nor a lower-ranked backup
+//     got the report through by then, they forward it themselves, then
+//     release on overhearing the implicit ack.
+//
+// De-duplication is by (origin CH, sequence); a clusterhead rebroadcasts
+// each report at most once (plus bounded retransmissions), so flooding over
+// the backbone terminates.
+package intercluster
+
+import (
+	"fmt"
+	"sort"
+
+	"clusterfds/internal/cluster"
+	"clusterfds/internal/fds"
+	"clusterfds/internal/node"
+	"clusterfds/internal/sim"
+	"clusterfds/internal/trace"
+	"clusterfds/internal/wire"
+)
+
+// Config parameterizes the forwarder.
+type Config struct {
+	// Timing must match the co-resident cluster/FDS timing.
+	Timing cluster.Timing
+	// CHRetries bounds how many times a clusterhead retransmits a report
+	// for which it overheard no gateway forwarding.
+	CHRetries int
+	// BGWAssist enables backup-gateway assisted forwarding; the ablation
+	// benchmarks disable it to quantify its contribution.
+	BGWAssist bool
+	// ImplicitAcks enables the overhear-based retransmission scheme. When
+	// disabled, every hop is fire-and-forget (the paper's strawman).
+	ImplicitAcks bool
+}
+
+// DefaultConfig returns the configuration used by the experiments.
+func DefaultConfig(t cluster.Timing) Config {
+	return Config{Timing: t, CHRetries: 2, BGWAssist: true, ImplicitAcks: true}
+}
+
+// key de-duplicates reports network-wide.
+type key struct {
+	origin wire.NodeID
+	seq    uint64
+}
+
+// reportState is everything this host knows about one report.
+type reportState struct {
+	content wire.FailureReport // canonical content (Sender/TargetCH cleared)
+	// senders records every host overheard transmitting this report;
+	// implicit acknowledgments are lookups in this set.
+	senders map[wire.NodeID]bool
+	// rebroadcast marks that this host (as CH) already relayed the report.
+	rebroadcast bool
+	retriesLeft int
+	// engaged tracks gateway duty per downstream clusterhead.
+	engaged map[wire.NodeID]*gwDuty
+}
+
+// gwDuty is a gateway candidate's forwarding state toward one target CH.
+type gwDuty struct {
+	forwarded int
+	timer     sim.Timer
+	done      bool
+}
+
+// Protocol is the per-host inter-cluster forwarder.
+type Protocol struct {
+	cfg     Config
+	host    *node.Host
+	cluster *cluster.Protocol
+	fds     *fds.Protocol
+
+	reports map[key]*reportState
+	epoch   wire.Epoch
+
+	// knownNeighbors tracks, on a clusterhead, which adjacent clusters
+	// have been seen before: a NEW adjacency (clusters forming or
+	// re-forming next door) triggers a catch-up report carrying the
+	// cumulative failed set, so knowledge holes left by topology churn
+	// heal instead of waiting for the next failure.
+	knownNeighbors map[wire.NodeID]bool
+}
+
+// New returns a forwarder bound to the co-resident cluster and FDS
+// protocols.
+func New(cfg Config, cl *cluster.Protocol, f *fds.Protocol) *Protocol {
+	if cl == nil || f == nil {
+		panic("intercluster: nil cluster or fds protocol")
+	}
+	if !cfg.Timing.Valid() {
+		panic("intercluster: invalid timing")
+	}
+	if cfg.CHRetries < 0 {
+		cfg.CHRetries = 0
+	}
+	return &Protocol{
+		cfg:            cfg,
+		cluster:        cl,
+		fds:            f,
+		reports:        make(map[key]*reportState),
+		knownNeighbors: make(map[wire.NodeID]bool),
+	}
+}
+
+// Start implements node.Protocol.
+func (p *Protocol) Start(h *node.Host) {
+	p.host = h
+	e := p.cfg.Timing.EpochOf(h.Now())
+	if h.Now() > p.cfg.Timing.EpochStart(e) {
+		e++
+	}
+	p.scheduleEpoch(e)
+}
+
+func (p *Protocol) scheduleEpoch(e wire.Epoch) {
+	at := p.cfg.Timing.EpochStart(e)
+	p.host.After(at-p.host.Now(), func() { p.runEpoch(e) })
+}
+
+// runEpoch arms the per-epoch origination check: shortly after the end of
+// fds.R-3 (leaving room for the deputy-takeover cascade), a clusterhead
+// whose own update announced new failures seeds the backbone flood.
+func (p *Protocol) runEpoch(e wire.Epoch) {
+	p.epoch = e
+	p.scheduleEpoch(e + 1)
+	t := p.cfg.Timing
+	p.host.After(t.R3End()+t.Thop/4, func() { p.maybeOriginate(e) })
+}
+
+// maybeOriginate runs on every host each epoch; a clusterhead acts when its
+// epoch update carried news (origination) or a new neighbor cluster
+// appeared (catch-up).
+func (p *Protocol) maybeOriginate(e wire.Epoch) {
+	v := p.cluster.View()
+	if !v.IsCH {
+		return
+	}
+	newNeighbor := false
+	for _, nb := range p.cluster.NeighborCHs() {
+		if !p.knownNeighbors[nb] {
+			p.knownNeighbors[nb] = true
+			newNeighbor = true
+		}
+	}
+
+	if up, ok := p.fds.CurrentUpdate(); ok && up.Epoch == e &&
+		(len(up.NewFailed) > 0 || len(up.Rescinded) > 0) {
+		st := p.getState(key{origin: up.From, seq: uint64(up.Epoch)}, reportFromUpdate(&up))
+		if !st.rebroadcast {
+			st.rebroadcast = true
+			st.retriesLeft = p.cfg.CHRetries
+			// The cluster's own health update already reached the
+			// gateways; this CH now only arms the implicit-ack watch (its
+			// update was the hop-0 transmission), retransmitting the
+			// report itself if no gateway forwarding is overheard.
+			p.armCHWatch(st)
+		}
+		return
+	}
+
+	// Catch-up on new adjacency: share what this cluster knows so a
+	// freshly (re)formed neighbor is not left waiting for the next
+	// failure to learn old news.
+	failed := p.fds.KnownFailed()
+	if !newNeighbor || len(failed) == 0 {
+		return
+	}
+	st := p.getState(key{origin: p.host.ID(), seq: uint64(e)}, wire.FailureReport{
+		OriginCH:  p.host.ID(),
+		Seq:       uint64(e),
+		Epoch:     e,
+		AllFailed: failed,
+	})
+	if st.rebroadcast {
+		return
+	}
+	st.rebroadcast = true
+	st.retriesLeft = p.cfg.CHRetries
+	p.host.Trace(trace.TypeReportForward, fmt.Sprintf("catch-up seq=%d failed=%d", e, len(failed)))
+	p.transmit(st, wire.NoNode)
+	p.armCHWatch(st)
+}
+
+// reportFromUpdate builds the canonical report a health update gives rise
+// to. Every gateway derives the identical key, so de-duplication works
+// without coordination.
+func reportFromUpdate(up *wire.HealthUpdate) wire.FailureReport {
+	return wire.FailureReport{
+		OriginCH:  up.From,
+		Seq:       uint64(up.Epoch),
+		Epoch:     up.Epoch,
+		NewFailed: append([]wire.NodeID(nil), up.NewFailed...),
+		AllFailed: append([]wire.NodeID(nil), up.AllFailed...),
+		Rescinded: append([]wire.Rescission(nil), up.Rescinded...),
+	}
+}
+
+func (p *Protocol) getState(k key, content wire.FailureReport) *reportState {
+	st, ok := p.reports[k]
+	if !ok {
+		content.Sender = wire.NoNode
+		content.TargetCH = wire.NoNode
+		st = &reportState{
+			content: content,
+			senders: make(map[wire.NodeID]bool),
+			engaged: make(map[wire.NodeID]*gwDuty),
+		}
+		p.reports[k] = st
+	}
+	return st
+}
+
+// transmit broadcasts the report stamped with this host as sender.
+func (p *Protocol) transmit(st *reportState, target wire.NodeID) {
+	r := st.content // copy
+	r.Sender = p.host.ID()
+	r.TargetCH = target
+	p.host.Send(&r)
+}
+
+// --- clusterhead side --------------------------------------------------------
+
+// relay handles a report reaching a clusterhead: rebroadcast once (the
+// implicit ack for the upstream hop and the trigger for the downstream
+// gateways), then watch for downstream forwarding.
+func (p *Protocol) relay(st *reportState) {
+	if st.rebroadcast {
+		return
+	}
+	st.rebroadcast = true
+	st.retriesLeft = p.cfg.CHRetries
+	p.host.Trace(trace.TypeReportForward, fmt.Sprintf("relay origin=%v seq=%d", st.content.OriginCH, st.content.Seq))
+	p.transmit(st, wire.NoNode)
+	p.armCHWatch(st)
+}
+
+// armCHWatch schedules the 2·Thop implicit-ack check: for every neighboring
+// cluster, some gateway candidate (or the neighbor CH itself) must have been
+// overheard transmitting the report; otherwise retransmit.
+func (p *Protocol) armCHWatch(st *reportState) {
+	if !p.cfg.ImplicitAcks {
+		return
+	}
+	p.host.After(2*p.cfg.Timing.Thop, func() { p.checkCHWatch(st) })
+}
+
+func (p *Protocol) checkCHWatch(st *reportState) {
+	v := p.cluster.View()
+	if !v.IsCH {
+		return
+	}
+	if p.neighborsCovered(st) || st.retriesLeft <= 0 {
+		return
+	}
+	st.retriesLeft--
+	p.host.Trace(trace.TypeRetransmit, fmt.Sprintf("origin=%v seq=%d", st.content.OriginCH, st.content.Seq))
+	p.transmit(st, wire.NoNode)
+	p.armCHWatch(st)
+}
+
+// neighborsCovered reports whether, for every known neighboring cluster,
+// an implicit acknowledgment has been overheard.
+func (p *Protocol) neighborsCovered(st *reportState) bool {
+	me := p.host.ID()
+	for _, nb := range p.cluster.NeighborCHs() {
+		if nb == st.content.OriginCH || st.senders[nb] {
+			continue // the origin already has it; a transmitting CH has it
+		}
+		covered := false
+		for _, cand := range p.cluster.GatewayCandidates(me, nb) {
+			if st.senders[cand] {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			return false
+		}
+	}
+	return true
+}
+
+// --- gateway side -------------------------------------------------------------
+
+// engage puts this gateway candidate on duty for forwarding the report from
+// the cluster of viaCH toward every other cluster it bridges with viaCH.
+func (p *Protocol) engage(st *reportState, viaCH wire.NodeID) {
+	for _, target := range p.bridgedWith(viaCH) {
+		if target == st.content.OriginCH || st.senders[target] {
+			continue // downstream already has it
+		}
+		p.engageTarget(st, viaCH, target)
+	}
+	// Distributed-gateway fallback (Section 3's "node located outside two
+	// clusters" option): when the trigger came from this host's own CH and
+	// an adjacent cluster is reachable only through a border peer, relay
+	// toward it after giving any one-hop gateways priority.
+	v := p.cluster.View()
+	if viaCH != v.CH {
+		return
+	}
+	for _, target := range p.cluster.BorderClusters() {
+		if target == st.content.OriginCH || st.senders[target] {
+			continue
+		}
+		p.engageTwoHop(st, target)
+	}
+}
+
+// engageTwoHop arms a border node's relay toward a cluster it cannot reach
+// directly: wait out the direct-gateway window, then transmit once unless a
+// member of the target cluster has evidently already received the report.
+func (p *Protocol) engageTwoHop(st *reportState, target wire.NodeID) {
+	duty, ok := st.engaged[target]
+	if ok && (duty.done || duty.timer.Active() || duty.forwarded > 0) {
+		return
+	}
+	if !ok {
+		duty = &gwDuty{}
+		st.engaged[target] = duty
+	}
+	// NID-keyed jitter desynchronizes concurrent border forwarders.
+	jitter := sim.Time(uint64(p.host.ID()) * uint64(p.cfg.Timing.Thop) / 7 % uint64(p.cfg.Timing.Thop))
+	duty.timer = p.host.After(2*p.cfg.Timing.Thop+jitter, func() {
+		if duty.done || p.targetHasReport(st, target) {
+			duty.done = true
+			return
+		}
+		duty.forwarded++
+		p.host.Trace(trace.TypeReportForward, fmt.Sprintf("two-hop -> %v origin=%v seq=%d",
+			target, st.content.OriginCH, st.content.Seq))
+		p.transmit(st, target)
+	})
+}
+
+// targetHasReport reports whether the target clusterhead, or any overheard
+// member of its cluster, has evidently transmitted the report already.
+func (p *Protocol) targetHasReport(st *reportState, target wire.NodeID) bool {
+	if st.senders[target] {
+		return true
+	}
+	for sender := range st.senders {
+		if p.cluster.IsBorderPeer(target, sender) {
+			return true
+		}
+	}
+	return false
+}
+
+// maybeRelayInward runs on an ordinary member that received a report
+// addressed to its own clusterhead from outside the cluster (the second hop
+// of a distributed gateway): pass it on to the CH unless someone in the
+// cluster evidently has it already.
+func (p *Protocol) maybeRelayInward(st *reportState, from wire.NodeID) {
+	v := p.cluster.View()
+	if v.IsCH || !v.Marked {
+		return
+	}
+	if v.IsMember(from) || from == v.CH {
+		return // an insider sent it; normal paths apply
+	}
+	duty, ok := st.engaged[v.CH]
+	if ok && (duty.done || duty.timer.Active() || duty.forwarded > 0) {
+		return
+	}
+	if !ok {
+		duty = &gwDuty{}
+		st.engaged[v.CH] = duty
+	}
+	// Spread relays over two round times so earlier relayers' (or the own
+	// CH's) transmissions suppress the rest.
+	jitter := sim.Time(uint64(p.host.ID()) * uint64(p.cfg.Timing.Thop) / 5 % uint64(2*p.cfg.Timing.Thop))
+	duty.timer = p.host.After(jitter, func() {
+		if duty.done || p.clusterHasReport(st) {
+			duty.done = true
+			return
+		}
+		duty.forwarded++
+		p.host.Trace(trace.TypeReportForward, fmt.Sprintf("inward -> %v origin=%v seq=%d",
+			p.cluster.View().CH, st.content.OriginCH, st.content.Seq))
+		p.transmit(st, p.cluster.View().CH)
+	})
+}
+
+// clusterHasReport reports whether this host's own CH or any fellow member
+// has been overheard transmitting the report.
+func (p *Protocol) clusterHasReport(st *reportState) bool {
+	v := p.cluster.View()
+	if st.senders[v.CH] {
+		return true
+	}
+	for sender := range st.senders {
+		if sender != p.host.ID() && v.IsMember(sender) {
+			return true
+		}
+	}
+	return false
+}
+
+// bridgedWith returns the clusterheads this host bridges to from viaCH
+// (i.e. the partners of every candidate pair involving viaCH that this host
+// belongs to), sorted for determinism.
+func (p *Protocol) bridgedWith(viaCH wire.NodeID) []wire.NodeID {
+	v := p.cluster.View()
+	if !v.Marked {
+		return nil
+	}
+	var chs []wire.NodeID
+	switch {
+	case v.CH == viaCH:
+		chs = v.OtherCHs
+	default:
+		// Trigger came from a foreign CH we can hear; we bridge it to our
+		// own cluster (and only there — feature F3).
+		for _, oc := range v.OtherCHs {
+			if oc == viaCH {
+				chs = []wire.NodeID{v.CH}
+				break
+			}
+		}
+	}
+	sort.Slice(chs, func(i, j int) bool { return chs[i] < chs[j] })
+	return chs
+}
+
+func (p *Protocol) engageTarget(st *reportState, viaCH, target wire.NodeID) {
+	duty, ok := st.engaged[target]
+	if ok && (duty.done || duty.timer.Active() || duty.forwarded > 0) {
+		return
+	}
+	if !ok {
+		duty = &gwDuty{}
+		st.engaged[target] = duty
+	}
+	rank, n, isCand := p.cluster.GWRank(viaCH, target)
+	if !isCand {
+		return
+	}
+	hop := 2 * p.cfg.Timing.Thop
+	switch {
+	case rank == 1:
+		// Primary gateway: forward immediately, then watch for the
+		// downstream CH's implicit ack.
+		p.forwardNow(st, duty, target, n)
+	case p.cfg.BGWAssist:
+		// Backup gateway (paper rank k-1): arm the staggered standby
+		// timer; only act if nobody got the report through first.
+		wait := sim.Time(rank-1) * hop
+		duty.timer = p.host.After(wait, func() {
+			if duty.done || st.senders[target] {
+				duty.done = true
+				return
+			}
+			p.host.Trace(trace.TypeBGWAssist, fmt.Sprintf("-> %v origin=%v", target, st.content.OriginCH))
+			p.forwardNow(st, duty, target, n)
+		})
+	}
+}
+
+// forwardNow transmits toward target and, when implicit acks are on, arms
+// the (n+1)·2·Thop re-forward / release timer.
+func (p *Protocol) forwardNow(st *reportState, duty *gwDuty, target wire.NodeID, n int) {
+	duty.forwarded++
+	p.host.Trace(trace.TypeReportForward, fmt.Sprintf("-> %v origin=%v seq=%d", target, st.content.OriginCH, st.content.Seq))
+	p.transmit(st, target)
+	if !p.cfg.ImplicitAcks {
+		duty.done = true
+		return
+	}
+	wait := sim.Time(n+1) * 2 * p.cfg.Timing.Thop
+	duty.timer = p.host.After(wait, func() {
+		if duty.done || st.senders[target] {
+			duty.done = true
+			return
+		}
+		if duty.forwarded >= 2 {
+			return // give up; the next epoch's cumulative report catches up
+		}
+		p.host.Trace(trace.TypeRetransmit, fmt.Sprintf("-> %v origin=%v", target, st.content.OriginCH))
+		p.forwardNow(st, duty, target, n)
+	})
+}
+
+// --- message handling ---------------------------------------------------------
+
+// Handle implements node.Protocol.
+func (p *Protocol) Handle(h *node.Host, m wire.Message, from wire.NodeID) {
+	switch msg := m.(type) {
+	case *wire.FailureReport:
+		p.onReport(msg)
+	case *wire.HealthUpdate:
+		p.onUpdate(msg)
+	}
+}
+
+// onReport processes every overheard report transmission: it is evidence
+// (an implicit ack), possibly a relay trigger (on a CH), and possibly a
+// gateway-duty trigger (when the transmitter is a CH this host bridges).
+func (p *Protocol) onReport(m *wire.FailureReport) {
+	st := p.getState(key{origin: m.OriginCH, seq: m.Seq}, *m)
+	st.senders[m.Sender] = true
+	// Release any duty toward a CH that evidently has the report.
+	if duty, ok := st.engaged[m.Sender]; ok {
+		duty.done = true
+		duty.timer.Cancel()
+	}
+
+	v := p.cluster.View()
+	if v.IsCH {
+		if m.TargetCH == p.host.ID() || m.TargetCH == wire.NoNode {
+			p.host.Trace(trace.TypeReportDeliver, fmt.Sprintf("origin=%v seq=%d", m.OriginCH, m.Seq))
+			p.relay(st)
+		}
+		return
+	}
+	// A clusterhead transmitting a report triggers the gateways bridging
+	// it onward (overhearing suffices; no addressing is needed).
+	p.engage(st, m.Sender)
+	// A report transmission from outside the cluster — addressed to our CH
+	// (the second hop of a distributed gateway) or a foreign clusterhead's
+	// rebroadcast overheard across the boundary — is relayed inward unless
+	// the cluster evidently has it.
+	if m.TargetCH == v.CH || m.TargetCH == wire.NoNode {
+		p.maybeRelayInward(st, m.Sender)
+	}
+}
+
+// onUpdate turns a health update announcing new failures into gateway duty:
+// this is the origination hop, where the update itself plays the role of
+// the CH's hop-0 transmission.
+func (p *Protocol) onUpdate(m *wire.HealthUpdate) {
+	if len(m.NewFailed) == 0 && len(m.Rescinded) == 0 {
+		return
+	}
+	st := p.getState(key{origin: m.From, seq: uint64(m.Epoch)}, reportFromUpdate(m))
+	st.senders[m.From] = true
+	v := p.cluster.View()
+	if v.IsCH {
+		// A foreign cluster's update overheard directly by this CH: the
+		// report content has effectively arrived; relay it.
+		if m.From != p.host.ID() && m.CH != p.host.ID() {
+			p.relay(st)
+		}
+		return
+	}
+	// Gateways act at the end of fds.R-3 (after the takeover cascade), per
+	// the paper; the update may arrive during R-3, so delay until then.
+	tEnd := p.cfg.Timing.EpochStart(m.Epoch) + p.cfg.Timing.R3End() + p.cfg.Timing.Thop/8
+	delay := tEnd - p.host.Now()
+	via := m.From
+	if m.Takeover {
+		// Candidate pairs are still keyed by the failed CH until gateways
+		// re-register; rank lookups must use the old CH while the targets
+		// come from this gateway's current bridging set.
+		oldCH := m.CH
+		p.host.After(delay, func() {
+			cv := p.cluster.View()
+			targets := cv.OtherCHs
+			if cv.CH != via { // we bridge the takeover cluster from outside
+				targets = []wire.NodeID{cv.CH}
+			}
+			for _, target := range targets {
+				if target == st.content.OriginCH || st.senders[target] {
+					continue
+				}
+				p.engageTarget(st, oldCH, target)
+			}
+		})
+		return
+	}
+	p.host.After(delay, func() { p.engage(st, via) })
+}
+
+// --- queries -------------------------------------------------------------------
+
+// Seen reports whether this host has processed (or overheard) the report
+// identified by origin and seq.
+func (p *Protocol) Seen(origin wire.NodeID, seq uint64) bool {
+	_, ok := p.reports[key{origin: origin, seq: seq}]
+	return ok
+}
+
+// ReportCount returns how many distinct reports this host has seen.
+func (p *Protocol) ReportCount() int { return len(p.reports) }

@@ -1,0 +1,269 @@
+package intercluster
+
+import (
+	"testing"
+
+	"clusterfds/internal/cluster"
+	"clusterfds/internal/fds"
+	"clusterfds/internal/geo"
+	"clusterfds/internal/node"
+	"clusterfds/internal/radio"
+	"clusterfds/internal/sim"
+	"clusterfds/internal/trace"
+	"clusterfds/internal/wire"
+)
+
+// world is a field running the full stack: formation + FDS + forwarder.
+type world struct {
+	kernel *sim.Kernel
+	medium *radio.Medium
+	hosts  []*node.Host
+	cls    []*cluster.Protocol
+	fdss   []*fds.Protocol
+	fwds   []*Protocol
+	timing cluster.Timing
+	tracer *trace.Memory
+}
+
+func buildWorld(t *testing.T, seed int64, lossProb float64, cfg func(cluster.Timing) Config, positions []geo.Point) *world {
+	t.Helper()
+	if cfg == nil {
+		cfg = DefaultConfig
+	}
+	k := sim.New(seed)
+	tr := trace.NewMemory(trace.TypeReportForward, trace.TypeReportDeliver,
+		trace.TypeRetransmit, trace.TypeBGWAssist, trace.TypeDetect)
+	m := radio.New(k, radio.Defaults(lossProb))
+	w := &world{kernel: k, medium: m, timing: cluster.DefaultTiming(), tracer: tr}
+	for i, pos := range positions {
+		h := node.New(k, m, wire.NodeID(i+1), pos, node.WithTrace(tr))
+		cl := cluster.New(cluster.DefaultConfig())
+		f := fds.New(fds.DefaultConfig(w.timing), cl)
+		fw := New(cfg(w.timing), cl, f)
+		h.Use(cl)
+		h.Use(f)
+		h.Use(fw)
+		w.hosts = append(w.hosts, h)
+		w.cls = append(w.cls, cl)
+		w.fdss = append(w.fdss, f)
+		w.fwds = append(w.fwds, fw)
+	}
+	for _, h := range w.hosts {
+		h.Boot()
+	}
+	return w
+}
+
+func (w *world) runUntilEpoch(e wire.Epoch) { w.kernel.RunUntil(w.timing.EpochStart(e)) }
+
+func (w *world) crashAtEpoch(idx int, e wire.Epoch) {
+	w.kernel.At(w.timing.EpochStart(e)+w.timing.Interval/2, func() { w.hosts[idx].Crash() })
+}
+
+// threeClusterChain lays out clusters A (around n1), B (around n2), and C
+// (around n3), bridged by n6 (A-B) and n7 (B-C).
+//
+//	A: n1 @ (0,0), members n4 n5 n8 n9
+//	B: n2 @ (150,0), members n10 n11
+//	C: n3 @ (300,0), members n12 n13
+//	bridges: n6 @ (75,0), n7 @ (225,0)
+//
+// A's members sit where they stay within range of the gateway n6 (the
+// paper's high-density assumption: a deputy taking over can still reach the
+// gateways).
+func threeClusterChain() []geo.Point {
+	return []geo.Point{
+		{X: 0, Y: 0},     // n1 CH A
+		{X: 150, Y: 0},   // n2 CH B
+		{X: 300, Y: 0},   // n3 CH C
+		{X: -20, Y: 10},  // n4 member A (in range of n6)
+		{X: -20, Y: -10}, // n5 member A (in range of n6)
+		{X: 75, Y: 0},    // n6 gateway A-B
+		{X: 225, Y: 0},   // n7 gateway B-C
+		{X: 20, Y: 30},   // n8 member A
+		{X: 20, Y: -30},  // n9 member A
+		{X: 180, Y: 30},  // n10 member B (out of gateway n6 range)
+		{X: 180, Y: -30}, // n11 member B (out of gateway n6 range)
+		{X: 300, Y: 30},  // n12 member C
+		{X: 300, Y: -30}, // n13 member C
+	}
+}
+
+func TestReportPropagatesAcrossChain(t *testing.T) {
+	w := buildWorld(t, 1, 0, nil, threeClusterChain())
+	w.crashAtEpoch(7, 2) // crash n8 (member of A) mid-epoch 2
+	w.runUntilEpoch(6)
+
+	// Every operational node in every cluster must know about n8.
+	for i, f := range w.fdss {
+		if i == 7 {
+			continue
+		}
+		if !f.IsSuspected(8) {
+			t.Errorf("node %d (cluster of %v) never learned of n8's failure",
+				i+1, w.cls[i].View().CH)
+		}
+	}
+	if w.tracer.Count(trace.TypeReportForward) == 0 {
+		t.Error("no report forwarding traced")
+	}
+}
+
+func TestNoReportWithoutNewFailures(t *testing.T) {
+	w := buildWorld(t, 2, 0, nil, threeClusterChain())
+	w.runUntilEpoch(6)
+	if n := w.medium.Sent(wire.KindFailureReport); n != 0 {
+		t.Errorf("%d failure reports sent with no failures (no news must be good news)", n)
+	}
+}
+
+func TestMessageCostBounded(t *testing.T) {
+	// One failure in a three-cluster chain without loss: the flood must
+	// stay small — two gateway hops, two CH relays, plus bounded
+	// retransmissions from CH watch timers.
+	w := buildWorld(t, 3, 0, nil, threeClusterChain())
+	w.crashAtEpoch(7, 2)
+	w.runUntilEpoch(6)
+	sent := w.medium.Sent(wire.KindFailureReport)
+	if sent == 0 || sent > 12 {
+		t.Errorf("failure-report transmissions = %d, want 1..12", sent)
+	}
+}
+
+func TestBGWAssistsWhenPrimaryLinkDead(t *testing.T) {
+	// Two gateway candidates between A and B (n6, n14). The primary is the
+	// lower NID, n6. Kill n6's link toward CH B: the backup must step in.
+	positions := append(threeClusterChain(), geo.Point{X: 75, Y: 20}) // n14
+	w := buildWorld(t, 4, 0, nil, positions)
+	w.runUntilEpoch(2)
+	w.medium.SetLinkLoss(6, 2, 1.0) // n6 -> CH B dead
+	w.crashAtEpoch(7, 2)
+	w.runUntilEpoch(6)
+
+	for _, i := range []int{1, 9, 10} { // CH B and members of B
+		if !w.fdss[i].IsSuspected(8) {
+			t.Errorf("node %d missed the failure despite backup gateway", i+1)
+		}
+	}
+	if w.tracer.Count(trace.TypeBGWAssist) == 0 {
+		t.Error("backup gateway never assisted")
+	}
+}
+
+func TestBGWTakesOverWhenPrimaryCrashes(t *testing.T) {
+	positions := append(threeClusterChain(), geo.Point{X: 75, Y: 20}) // n14 backup GW
+	w := buildWorld(t, 5, 0, nil, positions)
+	w.runUntilEpoch(2)
+	w.crashAtEpoch(5, 2) // crash the primary gateway n6
+	w.crashAtEpoch(7, 3) // then a member failure to report
+	w.runUntilEpoch(8)
+
+	if !w.fdss[1].IsSuspected(8) {
+		t.Error("CH B never learned of n8 after primary gateway crash")
+	}
+	// n6's own failure must also have been reported across.
+	if !w.fdss[1].IsSuspected(6) {
+		t.Error("CH B never learned of the gateway's own failure")
+	}
+}
+
+func TestRetransmitOnLostForward(t *testing.T) {
+	// Single gateway: sever the gateway -> CH B link only around the
+	// instant of the first forward, so exactly that transmission dies and
+	// the implicit-ack machinery must retransmit. (The window must avoid
+	// the heartbeat/digest rounds — a longer outage makes cluster B
+	// legitimately detect the unreachable gateway as failed.)
+	w := buildWorld(t, 6, 0, nil, threeClusterChain())
+	w.crashAtEpoch(7, 2)
+	detectionEpoch := w.timing.EpochStart(3)
+	severAt := detectionEpoch + w.timing.R2End() + w.timing.Thop/2   // after digests
+	restoreAt := detectionEpoch + w.timing.R3End() + 2*w.timing.Thop // before the re-forward
+	w.kernel.At(severAt, func() { w.medium.SetLinkLoss(6, 2, 1.0) })
+	w.kernel.At(restoreAt, func() { w.medium.SetLinkLoss(6, 2, -1) })
+	w.runUntilEpoch(7)
+
+	if !w.fdss[1].IsSuspected(8) {
+		t.Error("failure never reached cluster B despite retransmissions")
+	}
+	if w.tracer.Count(trace.TypeRetransmit) == 0 {
+		t.Error("no retransmission traced")
+	}
+}
+
+func TestPropagationUnderLoss(t *testing.T) {
+	// p = 0.15 everywhere: the redundancy (implicit acks + retransmit +
+	// BGW) must still get the report to every cluster.
+	positions := append(threeClusterChain(),
+		geo.Point{X: 75, Y: 20}, geo.Point{X: 225, Y: 20}) // extra candidates
+	w := buildWorld(t, 7, 0.15, nil, positions)
+	w.crashAtEpoch(7, 2)
+	w.runUntilEpoch(8)
+	for _, i := range []int{1, 2, 9, 10, 11, 12} {
+		if !w.fdss[i].IsSuspected(8) {
+			t.Errorf("node %d missed the remote failure at p=0.15", i+1)
+		}
+	}
+}
+
+func TestImplicitAcksDisabledStillWorksWithoutLoss(t *testing.T) {
+	noAck := func(tm cluster.Timing) Config {
+		c := DefaultConfig(tm)
+		c.ImplicitAcks = false
+		return c
+	}
+	w := buildWorld(t, 8, 0, noAck, threeClusterChain())
+	w.crashAtEpoch(7, 2)
+	w.runUntilEpoch(6)
+	if !w.fdss[2].IsSuspected(8) {
+		t.Error("fire-and-forget forwarding failed even without loss")
+	}
+	if w.tracer.Count(trace.TypeRetransmit) != 0 {
+		t.Error("retransmissions despite implicit acks disabled")
+	}
+}
+
+func TestCHFailureReportedAcrossClusters(t *testing.T) {
+	// Crash CH A: the deputy takes over and the takeover report must reach
+	// clusters B and C.
+	w := buildWorld(t, 9, 0, nil, threeClusterChain())
+	w.runUntilEpoch(2)
+	w.crashAtEpoch(0, 2)
+	w.runUntilEpoch(8)
+	for _, i := range []int{1, 2, 9, 11} {
+		if !w.fdss[i].IsSuspected(1) {
+			t.Errorf("node %d never learned the CH of A failed", i+1)
+		}
+	}
+}
+
+func TestSeenAndReportCount(t *testing.T) {
+	w := buildWorld(t, 10, 0, nil, threeClusterChain())
+	w.crashAtEpoch(7, 2)
+	w.runUntilEpoch(6)
+	fw := w.fwds[1] // CH B's forwarder
+	if fw.ReportCount() == 0 {
+		t.Error("CH B saw no reports")
+	}
+	if !fw.Seen(1, 3) {
+		t.Errorf("CH B should have seen the report from origin n1 seq 3")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cl := cluster.New(cluster.DefaultConfig())
+	f := fds.New(fds.DefaultConfig(cluster.DefaultTiming()), cl)
+	for name, fn := range map[string]func(){
+		"nil cluster": func() { New(DefaultConfig(cluster.DefaultTiming()), nil, f) },
+		"nil fds":     func() { New(DefaultConfig(cluster.DefaultTiming()), cl, nil) },
+		"bad timing":  func() { New(Config{}, cl, f) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: want panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

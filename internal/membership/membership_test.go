@@ -1,0 +1,82 @@
+package membership
+
+import (
+	"testing"
+	"time"
+
+	"clusterfds/internal/sim"
+	"clusterfds/internal/wire"
+)
+
+func TestMarkFailed(t *testing.T) {
+	var v View
+	if v.IsFailed(1) || v.Len() != 0 {
+		t.Fatal("zero view should be empty")
+	}
+	if !v.MarkFailed(1, 3, sim.Time(time.Second)) {
+		t.Fatal("first mark should be new")
+	}
+	if v.MarkFailed(1, 9, sim.Time(5*time.Second)) {
+		t.Fatal("second mark should not be new")
+	}
+	r, ok := v.Record(1)
+	if !ok || r.Epoch != 3 || r.LearnedAt != sim.Time(time.Second) {
+		t.Errorf("record = %+v; first knowledge must be preserved", r)
+	}
+	if !v.IsFailed(1) || v.Len() != 1 {
+		t.Error("view inconsistent after mark")
+	}
+}
+
+func TestMarkFailedNoNode(t *testing.T) {
+	var v View
+	if v.MarkFailed(wire.NoNode, 1, 0) {
+		t.Error("NoNode should never be recorded")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var v View
+	added := v.Merge([]wire.NodeID{5, 3, 5, 7}, 2, 0)
+	if added != 3 {
+		t.Errorf("Merge added %d, want 3 (duplicate collapses)", added)
+	}
+	if got := v.Failed(); len(got) != 3 || got[0] != 3 || got[1] != 5 || got[2] != 7 {
+		t.Errorf("Failed = %v, want [3 5 7]", got)
+	}
+	if added := v.Merge([]wire.NodeID{3, 9}, 4, 0); added != 1 {
+		t.Errorf("second Merge added %d, want 1", added)
+	}
+}
+
+func TestForget(t *testing.T) {
+	var v View
+	v.MarkFailed(4, 1, 0)
+	if !v.Forget(4) {
+		t.Error("Forget of known failure should return true")
+	}
+	if v.Forget(4) {
+		t.Error("Forget of unknown failure should return false")
+	}
+	if v.IsFailed(4) {
+		t.Error("node still failed after Forget")
+	}
+}
+
+func TestRecordsSorted(t *testing.T) {
+	var v View
+	for _, n := range []wire.NodeID{9, 2, 5} {
+		v.MarkFailed(n, 1, 0)
+	}
+	rs := v.Records()
+	if len(rs) != 3 || rs[0].Node != 2 || rs[1].Node != 5 || rs[2].Node != 9 {
+		t.Errorf("Records = %v", rs)
+	}
+}
+
+func TestRecordMissing(t *testing.T) {
+	var v View
+	if _, ok := v.Record(1); ok {
+		t.Error("Record on empty view should report !ok")
+	}
+}

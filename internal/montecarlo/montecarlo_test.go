@@ -1,0 +1,110 @@
+package montecarlo
+
+import (
+	"testing"
+)
+
+// These tests ARE experiment Ext. B in miniature: the protocol
+// implementation must reproduce the analytic curves where the rates are
+// measurable. They use modest trial counts to stay fast; the benchmark
+// harness runs the full-size version.
+
+func TestFalseDetectionMatchesAnalysis(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical validation")
+	}
+	for _, tc := range []ClusterExperiment{
+		{N: 8, LossProb: 0.5, Trials: 600, Seed: 100},
+		{N: 12, LossProb: 0.6, Trials: 600, Seed: 200},
+	} {
+		out := tc.FalseDetection()
+		if out.Analytic < 0.01 {
+			t.Fatalf("test parameters give unmeasurable rate %v; pick heavier loss", out.Analytic)
+		}
+		if !out.Consistent(2.6) { // ~99% interval: keep flake risk low
+			t.Errorf("inconsistent: %v", out)
+		}
+	}
+}
+
+func TestFalseDetectionOnCHMatchesAnalysis(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical validation")
+	}
+	for _, tc := range []ClusterExperiment{
+		{N: 6, LossProb: 0.6, Trials: 800, Seed: 300},
+		{N: 8, LossProb: 0.7, Trials: 800, Seed: 400},
+	} {
+		out := tc.FalseDetectionOnCH()
+		if out.Analytic < 0.01 {
+			t.Fatalf("unmeasurable analytic rate %v", out.Analytic)
+		}
+		if !out.Consistent(2.6) {
+			t.Errorf("inconsistent: %v", out)
+		}
+	}
+}
+
+func TestIncompletenessMatchesAnalysis(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical validation")
+	}
+	for _, tc := range []ClusterExperiment{
+		{N: 8, LossProb: 0.5, Trials: 600, Seed: 500},
+		{N: 15, LossProb: 0.6, Trials: 600, Seed: 600},
+	} {
+		out := tc.Incompleteness()
+		if out.Analytic < 0.01 {
+			t.Fatalf("unmeasurable analytic rate %v", out.Analytic)
+		}
+		if !out.Consistent(2.6) {
+			t.Errorf("inconsistent: %v", out)
+		}
+	}
+}
+
+func TestDensityImprovesMeasures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical validation")
+	}
+	// The headline qualitative claim: growing N drives both false
+	// detection and incompleteness down, at fixed heavy loss.
+	small := ClusterExperiment{N: 6, LossProb: 0.6, Trials: 400, Seed: 700}
+	large := ClusterExperiment{N: 20, LossProb: 0.6, Trials: 400, Seed: 800}
+	if s, l := small.FalseDetection(), large.FalseDetection(); s.Empirical.Estimate() <= l.Empirical.Estimate() {
+		t.Errorf("false detection did not drop with density: N=6 %v vs N=20 %v", s, l)
+	}
+	if s, l := small.Incompleteness(), large.Incompleteness(); s.Empirical.Estimate() <= l.Empirical.Estimate() {
+		t.Errorf("incompleteness did not drop with density: N=6 %v vs N=20 %v", s, l)
+	}
+}
+
+func TestZeroLossZeroEvents(t *testing.T) {
+	e := ClusterExperiment{N: 10, LossProb: 0, Trials: 30, Seed: 900}
+	for _, out := range e.AllMeasures() {
+		if out.Empirical.Successes != 0 {
+			t.Errorf("%v: events at p=0", out)
+		}
+		if out.Analytic != 0 {
+			t.Errorf("%v: analytic nonzero at p=0", out)
+		}
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	e := ClusterExperiment{N: 6, LossProb: 0.5, Trials: 10, Seed: 1}
+	out := e.FalseDetection()
+	if out.String() == "" {
+		t.Error("empty outcome string")
+	}
+}
+
+func TestExperimentValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic for tiny N")
+		}
+	}()
+	e := ClusterExperiment{N: 3, LossProb: 0.5, Trials: 1}
+	e.FalseDetection()
+}

@@ -1,0 +1,200 @@
+// Package node implements the host runtime: a fail-stop process with a
+// position, an energy budget (delegated to the radio medium's meter), a
+// stack of protocols, and crash-aware timers.
+//
+// Hosts follow the paper's fail-stop model (Section 2.2): a crashed host
+// stops sending, receiving, and firing timers, and never recovers. Crashes
+// are injected by scenarios, optionally aligned to heartbeat-interval
+// epochs to honor the assumption that "a node will not fail during an FDS
+// execution".
+package node
+
+import (
+	"fmt"
+	"math/rand"
+
+	"clusterfds/internal/geo"
+	"clusterfds/internal/radio"
+	"clusterfds/internal/sim"
+	"clusterfds/internal/trace"
+	"clusterfds/internal/wire"
+)
+
+// Protocol is a state machine attached to a host. A host dispatches every
+// received message to every attached protocol; protocols ignore kinds they
+// do not care about. This mirrors the paper's middleware framing: the
+// clustering layer, the FDS, and the inter-cluster forwarder are separate
+// modules sharing one radio.
+type Protocol interface {
+	// Start is called once when the host boots.
+	Start(h *Host)
+	// Handle is called for every message delivered to the host.
+	Handle(h *Host, m wire.Message, from wire.NodeID)
+}
+
+// Host is one network node. It implements radio.Receiver.
+type Host struct {
+	id     wire.NodeID
+	pos    geo.Point
+	kernel *sim.Kernel
+	medium *radio.Medium
+	sink   trace.Sink
+
+	protocols []Protocol
+	crashed   bool
+	started   bool
+	// radioOff models sleep-mode duty cycling: the host neither sends nor
+	// receives, but its clock (and therefore protocol timers) keeps
+	// running — radio sleep, the energy-dominant kind. wakeAt is the
+	// current wake deadline (later SleepRadio calls move it).
+	radioOff bool
+	wakeAt   sim.Time
+}
+
+// Option customizes a Host.
+type Option func(*Host)
+
+// WithTrace attaches a trace sink to the host.
+func WithTrace(s trace.Sink) Option {
+	return func(h *Host) { h.sink = s }
+}
+
+// New creates a host, attaches it to the medium, and returns it. The host
+// does not run protocols until Boot is called, so scenarios can finish
+// wiring before any traffic flows.
+func New(kernel *sim.Kernel, medium *radio.Medium, id wire.NodeID, pos geo.Point, opts ...Option) *Host {
+	h := &Host{
+		id:     id,
+		pos:    pos,
+		kernel: kernel,
+		medium: medium,
+		sink:   trace.Nop{},
+	}
+	for _, opt := range opts {
+		opt(h)
+	}
+	medium.Attach(h)
+	return h
+}
+
+// ID implements radio.Receiver.
+func (h *Host) ID() wire.NodeID { return h.id }
+
+// Pos implements radio.Receiver.
+func (h *Host) Pos() geo.Point { return h.pos }
+
+// Operational implements radio.Receiver: true until the host crashes. A
+// sleeping host is NOT operational for radio purposes — it can neither send
+// nor receive — but it has not failed.
+func (h *Host) Operational() bool { return !h.crashed && !h.radioOff }
+
+// Deliver implements radio.Receiver by fanning the message out to the
+// protocol stack.
+func (h *Host) Deliver(m wire.Message, from wire.NodeID) {
+	if h.crashed || !h.started || h.radioOff {
+		return
+	}
+	for _, p := range h.protocols {
+		p.Handle(h, m, from)
+	}
+}
+
+// Use attaches a protocol. It panics after Boot: the stack is fixed at
+// startup so message dispatch order is deterministic.
+func (h *Host) Use(p Protocol) {
+	if h.started {
+		panic(fmt.Sprintf("node: Use on already-booted host %v", h.id))
+	}
+	h.protocols = append(h.protocols, p)
+}
+
+// Boot starts every attached protocol. It is idempotent.
+func (h *Host) Boot() {
+	if h.started || h.crashed {
+		return
+	}
+	h.started = true
+	for _, p := range h.protocols {
+		p.Start(h)
+	}
+}
+
+// Crash fail-stops the host: it immediately becomes silent and deaf, and
+// pending timers never fire. Crashing twice is a no-op.
+func (h *Host) Crash() {
+	if h.crashed {
+		return
+	}
+	h.crashed = true
+	h.sink.Emit(trace.Event{
+		At: h.kernel.Now(), Type: trace.TypeCrash, Node: uint32(h.id),
+	})
+}
+
+// Crashed reports whether the host has fail-stopped.
+func (h *Host) Crashed() bool { return h.crashed }
+
+// Send transmits m over the medium. Crashed and sleeping hosts transmit
+// nothing.
+func (h *Host) Send(m wire.Message) {
+	if h.crashed || h.radioOff {
+		return
+	}
+	h.medium.Send(h.id, m)
+}
+
+// SleepRadio turns the radio off until the given absolute virtual time.
+// Protocol timers keep firing (their sends are silently dropped), so epoch
+// loops survive the nap. Sleeping again extends or shortens the wake time.
+func (h *Host) SleepRadio(until sim.Time) {
+	if h.crashed || until <= h.Now() {
+		return
+	}
+	h.radioOff = true
+	h.wakeAt = until
+	h.kernel.At(until, func() {
+		// Only the timer matching the latest wake deadline wakes the
+		// radio; stale timers from superseded naps are no-ops.
+		if h.Now() >= h.wakeAt {
+			h.radioOff = false
+		}
+	})
+}
+
+// Asleep reports whether the radio is currently off.
+func (h *Host) Asleep() bool { return h.radioOff }
+
+// After schedules fn on the kernel; the callback is suppressed if the host
+// has crashed by the time it fires (a dead process runs no code).
+func (h *Host) After(d sim.Time, fn func()) sim.Timer {
+	return h.kernel.Schedule(d, func() {
+		if !h.crashed {
+			fn()
+		}
+	})
+}
+
+// Now returns the current virtual time.
+func (h *Host) Now() sim.Time { return h.kernel.Now() }
+
+// Rand returns the kernel's deterministic random source.
+func (h *Host) Rand() *rand.Rand { return h.kernel.Rand() }
+
+// Energy returns the host's available energy per the medium's meter.
+func (h *Host) Energy() float64 { return h.medium.Energy(h.id) }
+
+// Neighbors returns the operational hosts currently within radio range.
+func (h *Host) Neighbors() []wire.NodeID { return h.medium.Neighbors(h.pos, h.id) }
+
+// Trace emits a structured trace event attributed to this host.
+func (h *Host) Trace(t trace.EventType, detail string) {
+	h.sink.Emit(trace.Event{At: h.kernel.Now(), Type: t, Node: uint32(h.id), Detail: detail})
+}
+
+// MoveTo repositions the host and informs the medium. Provided for
+// migration extensions; the core experiments keep hosts stationary.
+func (h *Host) MoveTo(p geo.Point) {
+	old := h.pos
+	h.pos = p
+	h.medium.UpdatePos(h.id, old)
+}

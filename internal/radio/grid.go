@@ -1,0 +1,63 @@
+package radio
+
+import (
+	"math"
+
+	"clusterfds/internal/geo"
+	"clusterfds/internal/wire"
+)
+
+// grid is a uniform spatial hash with cell size equal to the transmission
+// range, so all candidates within range of a point live in the 3x3 block of
+// cells around it. It keeps Neighbors and Send at O(density) instead of
+// O(network size), which matters for the 2000-node scalability runs.
+type grid struct {
+	cell  float64
+	cells map[[2]int32][]wire.NodeID
+}
+
+func newGrid(cell float64) *grid {
+	return &grid{cell: cell, cells: make(map[[2]int32][]wire.NodeID)}
+}
+
+func (g *grid) key(p geo.Point) [2]int32 {
+	return [2]int32{int32(math.Floor(p.X / g.cell)), int32(math.Floor(p.Y / g.cell))}
+}
+
+func (g *grid) insert(id wire.NodeID, p geo.Point) {
+	k := g.key(p)
+	g.cells[k] = append(g.cells[k], id)
+}
+
+func (g *grid) remove(id wire.NodeID, p geo.Point) {
+	k := g.key(p)
+	ids := g.cells[k]
+	for i, x := range ids {
+		if x == id {
+			ids[i] = ids[len(ids)-1]
+			g.cells[k] = ids[:len(ids)-1]
+			return
+		}
+	}
+}
+
+func (g *grid) move(id wire.NodeID, from, to geo.Point) {
+	if g.key(from) == g.key(to) {
+		return
+	}
+	g.remove(id, from)
+	g.insert(id, to)
+}
+
+// forNear invokes fn for every ID in the 3x3 cell block around p. Callers
+// still need an exact range check; the grid only prunes.
+func (g *grid) forNear(p geo.Point, fn func(wire.NodeID)) {
+	c := g.key(p)
+	for dx := int32(-1); dx <= 1; dx++ {
+		for dy := int32(-1); dy <= 1; dy++ {
+			for _, id := range g.cells[[2]int32{c[0] + dx, c[1] + dy}] {
+				fn(id)
+			}
+		}
+	}
+}

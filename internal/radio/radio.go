@@ -1,0 +1,350 @@
+// Package radio implements the ad hoc wireless medium the paper's analysis
+// postulates (Sections 2.2 and 5):
+//
+//   - unit-disk propagation: every host within transmission range R of a
+//     sender may hear a transmission (symmetric links, equal ranges);
+//   - promiscuous receiving: a transmission reaches ALL in-range hosts, not
+//     only the addressed ones — "send" and "broadcast" coincide;
+//   - independent per-receiver Bernoulli loss with probability p;
+//   - bounded delivery delay: every successful delivery lands within Thop.
+//
+// The medium also keeps the bookkeeping the evaluation needs: per-kind
+// message and byte counters, drop counts, and a per-host energy meter with
+// solar harvest (Section 2.1 assumes hosts harvest energy, which is what
+// makes periodic heartbeat diffusion feasible).
+package radio
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"clusterfds/internal/geo"
+	"clusterfds/internal/sim"
+	"clusterfds/internal/stats"
+	"clusterfds/internal/trace"
+	"clusterfds/internal/wire"
+)
+
+// Receiver is the surface a host exposes to the medium.
+type Receiver interface {
+	// ID returns the host's globally unique NID.
+	ID() wire.NodeID
+	// Pos returns the host's current location.
+	Pos() geo.Point
+	// Operational reports whether the host can currently send and receive
+	// (false once crashed — the fail-stop model).
+	Operational() bool
+	// Deliver hands a received message to the host. from is the
+	// transmitting host; under promiscuous receiving the message is
+	// delivered whether or not this host was the intended recipient.
+	Deliver(m wire.Message, from wire.NodeID)
+}
+
+// Params configures the medium. Zero values are filled in by Defaults.
+type Params struct {
+	// Range is the transmission range R in meters (paper: 100 m).
+	Range float64
+	// LossProb is the per-receiver message loss probability p.
+	LossProb float64
+	// MinDelay and MaxDelay bound the uniform delivery delay; MaxDelay
+	// plays the role of Thop, the per-hop bound the round timeouts use.
+	MinDelay, MaxDelay sim.Time
+	// TxBaseCost, TxByteCost, RxByteCost parameterize the energy model in
+	// abstract energy units.
+	TxBaseCost, TxByteCost, RxByteCost float64
+	// HarvestRate is energy units gained per second of virtual time
+	// (solar cells, paper Section 2.1).
+	HarvestRate float64
+	// InitialEnergy is each host's starting energy budget.
+	InitialEnergy float64
+}
+
+// Defaults returns the parameter set used throughout the experiments:
+// R = 100 m, p as given, Thop = 20 ms.
+func Defaults(lossProb float64) Params {
+	return Params{
+		Range:         100,
+		LossProb:      lossProb,
+		MinDelay:      1e6,  // 1 ms
+		MaxDelay:      12e6, // 12 ms; with <=5 ms send jitter, still < Thop = 20 ms
+		TxBaseCost:    10,
+		TxByteCost:    0.5,
+		RxByteCost:    0.2,
+		HarvestRate:   5,
+		InitialEnergy: 100000,
+	}
+}
+
+// Medium is the shared wireless channel. It is not safe for concurrent use;
+// like everything else it runs inside the single-threaded kernel.
+type Medium struct {
+	kernel *sim.Kernel
+	params Params
+	sink   trace.Sink
+
+	nodes map[wire.NodeID]Receiver
+	grid  *grid
+
+	// linkLoss overrides the global loss probability for specific directed
+	// links; used by failure-injection tests.
+	linkLoss map[[2]wire.NodeID]float64
+	// silenced hosts have all their transmissions dropped (radio jamming /
+	// partition injection).
+	silenced map[wire.NodeID]bool
+
+	energy   map[wire.NodeID]*energyMeter
+	counters stats.Counter
+}
+
+// energyMeter tracks one host's spend; available energy is computed lazily
+// from the harvest rate and the kernel clock.
+type energyMeter struct {
+	spent float64
+}
+
+// Option customizes a Medium.
+type Option func(*Medium)
+
+// WithTrace attaches a trace sink to the medium.
+func WithTrace(s trace.Sink) Option {
+	return func(m *Medium) { m.sink = s }
+}
+
+// New creates a medium on the given kernel.
+func New(kernel *sim.Kernel, params Params, opts ...Option) *Medium {
+	if params.Range <= 0 {
+		panic("radio: non-positive transmission range")
+	}
+	if params.LossProb < 0 || params.LossProb > 1 {
+		panic(fmt.Sprintf("radio: loss probability %v outside [0,1]", params.LossProb))
+	}
+	if params.MaxDelay < params.MinDelay {
+		panic("radio: MaxDelay < MinDelay")
+	}
+	m := &Medium{
+		kernel:   kernel,
+		params:   params,
+		sink:     trace.Nop{},
+		nodes:    make(map[wire.NodeID]Receiver),
+		grid:     newGrid(params.Range),
+		linkLoss: make(map[[2]wire.NodeID]float64),
+		silenced: make(map[wire.NodeID]bool),
+		energy:   make(map[wire.NodeID]*energyMeter),
+	}
+	for _, opt := range opts {
+		opt(m)
+	}
+	return m
+}
+
+// Params returns the medium's configuration.
+func (m *Medium) Params() Params { return m.params }
+
+// Attach registers a host with the medium. Attaching two hosts with the
+// same NID is a configuration error and panics.
+func (m *Medium) Attach(r Receiver) {
+	id := r.ID()
+	if id == wire.NoNode {
+		panic("radio: cannot attach node with NID 0")
+	}
+	if _, dup := m.nodes[id]; dup {
+		panic(fmt.Sprintf("radio: duplicate NID %v", id))
+	}
+	m.nodes[id] = r
+	m.grid.insert(id, r.Pos())
+	m.energy[id] = &energyMeter{}
+}
+
+// UpdatePos tells the medium a host moved. (The paper defers migration to
+// future work; this exists so scenarios can reposition hosts between
+// epochs.)
+func (m *Medium) UpdatePos(id wire.NodeID, old geo.Point) {
+	r, ok := m.nodes[id]
+	if !ok {
+		return
+	}
+	m.grid.move(id, old, r.Pos())
+}
+
+// NodeCount returns the number of attached hosts.
+func (m *Medium) NodeCount() int { return len(m.nodes) }
+
+// Neighbors returns the NIDs of the operational hosts within range of the
+// given point, excluding exclude. The slice is freshly allocated.
+func (m *Medium) Neighbors(at geo.Point, exclude wire.NodeID) []wire.NodeID {
+	var out []wire.NodeID
+	m.grid.forNear(at, func(id wire.NodeID) {
+		if id == exclude {
+			return
+		}
+		r := m.nodes[id]
+		if r.Operational() && at.WithinRange(r.Pos(), m.params.Range) {
+			out = append(out, id)
+		}
+	})
+	return out
+}
+
+// SetLinkLoss overrides the loss probability on the directed link from ->
+// to. Pass a negative probability to remove the override.
+func (m *Medium) SetLinkLoss(from, to wire.NodeID, p float64) {
+	key := [2]wire.NodeID{from, to}
+	if p < 0 {
+		delete(m.linkLoss, key)
+		return
+	}
+	if p > 1 {
+		p = 1
+	}
+	m.linkLoss[key] = p
+}
+
+// Silence makes every transmission from id vanish (on=true) or restores
+// normal behaviour (on=false). Used by failure-injection tests to model a
+// host whose radio fails while the host keeps running.
+func (m *Medium) Silence(id wire.NodeID, on bool) {
+	if on {
+		m.silenced[id] = true
+	} else {
+		delete(m.silenced, id)
+	}
+}
+
+// Send transmits m from the given host. Per the promiscuous model the
+// message is offered to every in-range operational host; each delivery is
+// independently lost with the configured probability and otherwise arrives
+// after a uniform delay in [MinDelay, MaxDelay].
+//
+// Crashed or unattached senders transmit nothing (fail-stop: a crashed host
+// is silent). The sender never receives its own transmission.
+func (m *Medium) Send(from wire.NodeID, msg wire.Message) {
+	sender, ok := m.nodes[from]
+	if !ok || !sender.Operational() {
+		return
+	}
+	size := msg.WireSize()
+	m.chargeTx(from, size)
+	m.counters.Inc("tx:"+msg.Kind().String(), 1)
+	m.counters.Inc("tx-bytes", int64(size))
+	m.sink.Emit(trace.Event{
+		At: m.kernel.Now(), Type: trace.TypeSend, Node: uint32(from),
+		Detail: msg.Kind().String(),
+	})
+	if m.silenced[from] {
+		m.counters.Inc("drop:silenced", 1)
+		return
+	}
+
+	// Encode once; each receiver gets an independent decode so no state is
+	// shared between hosts (transmission cannot alias memory).
+	encoded := wire.Encode(msg)
+	origin := sender.Pos()
+	rng := m.kernel.Rand()
+	m.grid.forNear(origin, func(id wire.NodeID) {
+		if id == from {
+			return
+		}
+		rcv := m.nodes[id]
+		if !origin.WithinRange(rcv.Pos(), m.params.Range) {
+			return
+		}
+		loss := m.params.LossProb
+		if override, ok := m.linkLoss[[2]wire.NodeID{from, id}]; ok {
+			loss = override
+		}
+		if rng.Float64() < loss {
+			m.counters.Inc("drop:loss", 1)
+			m.sink.Emit(trace.Event{
+				At: m.kernel.Now(), Type: trace.TypeDrop, Node: uint32(id),
+				Detail: fmt.Sprintf("%s from %v", msg.Kind(), from),
+			})
+			return
+		}
+		delay := m.params.MinDelay
+		if span := m.params.MaxDelay - m.params.MinDelay; span > 0 {
+			delay += sim.Time(rng.Int63n(int64(span) + 1))
+		}
+		m.kernel.Schedule(delay, func() {
+			if !rcv.Operational() {
+				m.counters.Inc("drop:receiver-down", 1)
+				return
+			}
+			decoded, err := wire.Decode(encoded)
+			if err != nil {
+				// The medium never corrupts messages (paper Section 2.2);
+				// a decode failure is a codec bug.
+				panic(fmt.Sprintf("radio: decode on delivery: %v", err))
+			}
+			m.chargeRx(id, size)
+			m.counters.Inc("rx:"+decoded.Kind().String(), 1)
+			m.sink.Emit(trace.Event{
+				At: m.kernel.Now(), Type: trace.TypeDeliver, Node: uint32(id),
+				Detail: fmt.Sprintf("%s from %v", decoded.Kind(), from),
+			})
+			rcv.Deliver(decoded, from)
+		})
+	})
+}
+
+// chargeTx debits transmission energy.
+func (m *Medium) chargeTx(id wire.NodeID, bytes int) {
+	if e := m.energy[id]; e != nil {
+		e.spent += m.params.TxBaseCost + m.params.TxByteCost*float64(bytes)
+	}
+}
+
+// chargeRx debits reception energy.
+func (m *Medium) chargeRx(id wire.NodeID, bytes int) {
+	if e := m.energy[id]; e != nil {
+		e.spent += m.params.RxByteCost * float64(bytes)
+	}
+}
+
+// Energy returns the host's available energy: initial budget plus harvest
+// minus spend, floored at zero. The peer-forwarding backoff consults this
+// (paper Section 4.2: the waiting period is "inversely proportional to the
+// node's remaining energy").
+func (m *Medium) Energy(id wire.NodeID) float64 {
+	e, ok := m.energy[id]
+	if !ok {
+		return 0
+	}
+	harvested := m.params.HarvestRate * m.kernel.Now().Seconds()
+	return math.Max(0, m.params.InitialEnergy+harvested-e.spent)
+}
+
+// EnergySpent returns the host's cumulative energy expenditure.
+func (m *Medium) EnergySpent(id wire.NodeID) float64 {
+	if e, ok := m.energy[id]; ok {
+		return e.spent
+	}
+	return 0
+}
+
+// TotalEnergySpent sums expenditure over all hosts — the system-level cost
+// measure in the baseline comparisons. Hosts are summed in NID order so the
+// floating-point total is identical across runs.
+func (m *Medium) TotalEnergySpent() float64 {
+	ids := make([]wire.NodeID, 0, len(m.energy))
+	for id := range m.energy {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var t float64
+	for _, id := range ids {
+		t += m.energy[id].spent
+	}
+	return t
+}
+
+// Counters returns a snapshot of the medium's tallies (tx/rx per kind,
+// bytes, drops).
+func (m *Medium) Counters() map[string]int64 { return m.counters.Snapshot() }
+
+// Sent returns how many messages of the given kind have been transmitted.
+func (m *Medium) Sent(k wire.Kind) int64 { return m.counters.Get("tx:" + k.String()) }
+
+// Dropped returns how many point-to-point deliveries were lost to the
+// channel.
+func (m *Medium) Dropped() int64 { return m.counters.Get("drop:loss") }

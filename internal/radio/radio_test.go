@@ -1,0 +1,465 @@
+package radio
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"clusterfds/internal/geo"
+	"clusterfds/internal/sim"
+	"clusterfds/internal/trace"
+	"clusterfds/internal/wire"
+)
+
+// stubNode is a minimal Receiver recording deliveries.
+type stubNode struct {
+	id       wire.NodeID
+	pos      geo.Point
+	crashed  bool
+	received []receivedMsg
+}
+
+type receivedMsg struct {
+	msg  wire.Message
+	from wire.NodeID
+	at   sim.Time
+}
+
+func (s *stubNode) ID() wire.NodeID   { return s.id }
+func (s *stubNode) Pos() geo.Point    { return s.pos }
+func (s *stubNode) Operational() bool { return !s.crashed }
+func (s *stubNode) Deliver(m wire.Message, from wire.NodeID) {
+	s.received = append(s.received, receivedMsg{msg: m, from: from})
+}
+
+// lossless returns params with zero loss and fixed delay for deterministic
+// assertions.
+func lossless() Params {
+	p := Defaults(0)
+	p.MinDelay, p.MaxDelay = sim.Time(time.Millisecond), sim.Time(time.Millisecond)
+	return p
+}
+
+func makeField(t *testing.T, k *sim.Kernel, params Params, positions []geo.Point) (*Medium, []*stubNode) {
+	t.Helper()
+	m := New(k, params)
+	nodes := make([]*stubNode, len(positions))
+	for i, pos := range positions {
+		nodes[i] = &stubNode{id: wire.NodeID(i + 1), pos: pos}
+		m.Attach(nodes[i])
+	}
+	return m, nodes
+}
+
+func TestPromiscuousDelivery(t *testing.T) {
+	k := sim.New(1)
+	// Node 1 at origin; 2 and 3 in range; 4 out of range.
+	m, nodes := makeField(t, k, lossless(), []geo.Point{
+		{X: 0, Y: 0}, {X: 50, Y: 0}, {X: 0, Y: 99}, {X: 150, Y: 0},
+	})
+	m.Send(1, &wire.Heartbeat{NID: 1, Epoch: 1})
+	k.Run()
+
+	if len(nodes[0].received) != 0 {
+		t.Error("sender received its own message")
+	}
+	for _, in := range []int{1, 2} {
+		if len(nodes[in].received) != 1 {
+			t.Errorf("node %d received %d messages, want 1 (promiscuous)", in+1, len(nodes[in].received))
+		}
+	}
+	if len(nodes[3].received) != 0 {
+		t.Error("out-of-range node received a message")
+	}
+	hb, ok := nodes[1].received[0].msg.(*wire.Heartbeat)
+	if !ok || hb.NID != 1 || hb.Epoch != 1 {
+		t.Errorf("delivered message corrupted: %#v", nodes[1].received[0].msg)
+	}
+	if nodes[1].received[0].from != 1 {
+		t.Errorf("from = %v, want 1", nodes[1].received[0].from)
+	}
+}
+
+func TestBoundaryExactlyInRange(t *testing.T) {
+	k := sim.New(1)
+	m, nodes := makeField(t, k, lossless(), []geo.Point{
+		{X: 0, Y: 0}, {X: 100, Y: 0}, {X: 100.001, Y: 0},
+	})
+	m.Send(1, &wire.Heartbeat{NID: 1})
+	k.Run()
+	if len(nodes[1].received) != 1 {
+		t.Error("node exactly at range R should receive")
+	}
+	if len(nodes[2].received) != 0 {
+		t.Error("node just beyond R should not receive")
+	}
+}
+
+func TestCrashedSenderSilent(t *testing.T) {
+	k := sim.New(1)
+	m, nodes := makeField(t, k, lossless(), []geo.Point{{X: 0, Y: 0}, {X: 10, Y: 0}})
+	nodes[0].crashed = true
+	m.Send(1, &wire.Heartbeat{NID: 1})
+	k.Run()
+	if len(nodes[1].received) != 0 {
+		t.Error("crashed sender transmitted")
+	}
+	if m.Sent(wire.KindHeartbeat) != 0 {
+		t.Error("crashed sender counted as tx")
+	}
+}
+
+func TestCrashedReceiverDropsAtDelivery(t *testing.T) {
+	k := sim.New(1)
+	m, nodes := makeField(t, k, lossless(), []geo.Point{{X: 0, Y: 0}, {X: 10, Y: 0}})
+	m.Send(1, &wire.Heartbeat{NID: 1})
+	// Crash receiver before the delivery event fires.
+	nodes[1].crashed = true
+	k.Run()
+	if len(nodes[1].received) != 0 {
+		t.Error("crashed receiver got a delivery")
+	}
+}
+
+func TestUnattachedSenderIgnored(t *testing.T) {
+	k := sim.New(1)
+	m, _ := makeField(t, k, lossless(), []geo.Point{{X: 0, Y: 0}})
+	m.Send(999, &wire.Heartbeat{NID: 999}) // must not panic
+	k.Run()
+}
+
+func TestTotalLossDropsEverything(t *testing.T) {
+	params := Defaults(1.0)
+	k := sim.New(1)
+	m, nodes := makeField(t, k, params, []geo.Point{{X: 0, Y: 0}, {X: 10, Y: 0}})
+	for i := 0; i < 20; i++ {
+		m.Send(1, &wire.Heartbeat{NID: 1})
+	}
+	k.Run()
+	if len(nodes[1].received) != 0 {
+		t.Error("p=1 should lose every message")
+	}
+	if m.Dropped() != 20 {
+		t.Errorf("Dropped = %d, want 20", m.Dropped())
+	}
+}
+
+func TestLossRateStatistical(t *testing.T) {
+	const p = 0.3
+	params := Defaults(p)
+	k := sim.New(42)
+	m, nodes := makeField(t, k, params, []geo.Point{{X: 0, Y: 0}, {X: 10, Y: 0}})
+	const n = 20000
+	for i := 0; i < n; i++ {
+		m.Send(1, &wire.Heartbeat{NID: 1})
+	}
+	k.Run()
+	got := 1 - float64(len(nodes[1].received))/n
+	if math.Abs(got-p) > 0.02 {
+		t.Errorf("empirical loss %v, want ~%v", got, p)
+	}
+}
+
+func TestPerLinkLossIndependent(t *testing.T) {
+	// One sender, two receivers: loss must be drawn independently per
+	// receiver, so the probability both miss is ~p^2.
+	const p = 0.5
+	params := Defaults(p)
+	k := sim.New(7)
+	m, nodes := makeField(t, k, params, []geo.Point{
+		{X: 0, Y: 0}, {X: 10, Y: 0}, {X: 0, Y: 10},
+	})
+	const n = 20000
+	for i := 0; i < n; i++ {
+		m.Send(1, &wire.Heartbeat{NID: 1, Epoch: wire.Epoch(i)})
+	}
+	k.Run()
+	// Count rounds where both receivers missed epoch i.
+	got2 := map[wire.Epoch]int{}
+	for _, nd := range nodes[1:] {
+		for _, r := range nd.received {
+			got2[r.msg.(*wire.Heartbeat).Epoch]++
+		}
+	}
+	bothMissed := 0
+	for i := 0; i < n; i++ {
+		if got2[wire.Epoch(i)] == 0 {
+			bothMissed++
+		}
+	}
+	frac := float64(bothMissed) / n
+	if math.Abs(frac-p*p) > 0.02 {
+		t.Errorf("P(both miss) = %v, want ~%v", frac, p*p)
+	}
+}
+
+func TestSetLinkLoss(t *testing.T) {
+	k := sim.New(1)
+	m, nodes := makeField(t, k, lossless(), []geo.Point{
+		{X: 0, Y: 0}, {X: 10, Y: 0}, {X: 0, Y: 10},
+	})
+	m.SetLinkLoss(1, 2, 1.0) // kill link 1->2 only
+	for i := 0; i < 10; i++ {
+		m.Send(1, &wire.Heartbeat{NID: 1})
+	}
+	k.Run()
+	if len(nodes[1].received) != 0 {
+		t.Error("overridden link delivered")
+	}
+	if len(nodes[2].received) != 10 {
+		t.Errorf("untouched link delivered %d, want 10", len(nodes[2].received))
+	}
+	// Remove the override.
+	m.SetLinkLoss(1, 2, -1)
+	m.Send(1, &wire.Heartbeat{NID: 1})
+	k.Run()
+	if len(nodes[1].received) != 1 {
+		t.Error("override removal did not restore the link")
+	}
+}
+
+func TestSilence(t *testing.T) {
+	k := sim.New(1)
+	m, nodes := makeField(t, k, lossless(), []geo.Point{{X: 0, Y: 0}, {X: 10, Y: 0}})
+	m.Silence(1, true)
+	m.Send(1, &wire.Heartbeat{NID: 1})
+	k.Run()
+	if len(nodes[1].received) != 0 {
+		t.Error("silenced host transmitted")
+	}
+	m.Silence(1, false)
+	m.Send(1, &wire.Heartbeat{NID: 1})
+	k.Run()
+	if len(nodes[1].received) != 1 {
+		t.Error("unsilencing did not restore transmission")
+	}
+}
+
+func TestDelayWithinBounds(t *testing.T) {
+	params := Defaults(0)
+	k := sim.New(3)
+	m, nodes := makeField(t, k, params, []geo.Point{{X: 0, Y: 0}, {X: 10, Y: 0}})
+	var sentAt []sim.Time
+	for i := 0; i < 200; i++ {
+		at := sim.Time(i) * sim.Time(time.Second)
+		k.At(at, func() { m.Send(1, &wire.Heartbeat{NID: 1}) })
+		sentAt = append(sentAt, at)
+	}
+	deliveredAt := make([]sim.Time, 0, 200)
+	orig := nodes[1]
+	// Wrap Deliver by recording kernel time via closure: use a receiver shim.
+	shim := &timeRecorder{stub: orig, k: k, times: &deliveredAt}
+	m.nodes[2] = shim
+	k.Run()
+	if len(deliveredAt) != 200 {
+		t.Fatalf("delivered %d, want 200", len(deliveredAt))
+	}
+	for i, at := range deliveredAt {
+		d := at - sentAt[i]
+		if d < params.MinDelay || d > params.MaxDelay {
+			t.Fatalf("delivery %d delay %v outside [%v, %v]", i, d, params.MinDelay, params.MaxDelay)
+		}
+	}
+}
+
+type timeRecorder struct {
+	stub  *stubNode
+	k     *sim.Kernel
+	times *[]sim.Time
+}
+
+func (r *timeRecorder) ID() wire.NodeID   { return r.stub.ID() }
+func (r *timeRecorder) Pos() geo.Point    { return r.stub.Pos() }
+func (r *timeRecorder) Operational() bool { return r.stub.Operational() }
+func (r *timeRecorder) Deliver(m wire.Message, from wire.NodeID) {
+	*r.times = append(*r.times, r.k.Now())
+	r.stub.Deliver(m, from)
+}
+
+func TestNeighbors(t *testing.T) {
+	k := sim.New(1)
+	m, nodes := makeField(t, k, lossless(), []geo.Point{
+		{X: 0, Y: 0}, {X: 99, Y: 0}, {X: 101, Y: 0}, {X: 0, Y: 50}, {X: -70, Y: -70},
+	})
+	got := m.Neighbors(nodes[0].pos, 1)
+	want := map[wire.NodeID]bool{2: true, 4: true, 5: true}
+	if len(got) != len(want) {
+		t.Fatalf("Neighbors = %v, want IDs %v", got, want)
+	}
+	for _, id := range got {
+		if !want[id] {
+			t.Errorf("unexpected neighbor %v", id)
+		}
+	}
+	// Crashed nodes are excluded.
+	nodes[3].crashed = true
+	if got := m.Neighbors(nodes[0].pos, 1); len(got) != 2 {
+		t.Errorf("crashed node still listed: %v", got)
+	}
+}
+
+func TestEnergyAccounting(t *testing.T) {
+	params := lossless()
+	params.HarvestRate = 0
+	k := sim.New(1)
+	m, _ := makeField(t, k, params, []geo.Point{{X: 0, Y: 0}, {X: 10, Y: 0}})
+	hb := &wire.Heartbeat{NID: 1}
+	m.Send(1, hb)
+	k.Run()
+	size := float64(hb.WireSize())
+	wantTx := params.TxBaseCost + params.TxByteCost*size
+	if got := m.EnergySpent(1); math.Abs(got-wantTx) > 1e-9 {
+		t.Errorf("sender spent %v, want %v", got, wantTx)
+	}
+	wantRx := params.RxByteCost * size
+	if got := m.EnergySpent(2); math.Abs(got-wantRx) > 1e-9 {
+		t.Errorf("receiver spent %v, want %v", got, wantRx)
+	}
+	if got := m.TotalEnergySpent(); math.Abs(got-wantTx-wantRx) > 1e-9 {
+		t.Errorf("total spent %v, want %v", got, wantTx+wantRx)
+	}
+	if got := m.Energy(1); math.Abs(got-(params.InitialEnergy-wantTx)) > 1e-9 {
+		t.Errorf("Energy(1) = %v", got)
+	}
+}
+
+func TestEnergyHarvest(t *testing.T) {
+	params := lossless()
+	params.HarvestRate = 10
+	params.InitialEnergy = 100
+	k := sim.New(1)
+	m, _ := makeField(t, k, params, []geo.Point{{X: 0, Y: 0}})
+	k.RunUntil(sim.Time(5 * time.Second))
+	if got := m.Energy(1); math.Abs(got-150) > 1e-9 {
+		t.Errorf("Energy after 5s harvest = %v, want 150", got)
+	}
+	if got := m.Energy(999); got != 0 {
+		t.Errorf("Energy(unknown) = %v, want 0", got)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	k := sim.New(1)
+	m, _ := makeField(t, k, lossless(), []geo.Point{{X: 0, Y: 0}, {X: 10, Y: 0}})
+	m.Send(1, &wire.Heartbeat{NID: 1})
+	m.Send(1, &wire.Digest{NID: 1, Heard: []wire.NodeID{2}})
+	k.Run()
+	c := m.Counters()
+	if c["tx:heartbeat"] != 1 || c["tx:digest"] != 1 {
+		t.Errorf("tx counters wrong: %v", c)
+	}
+	if c["rx:heartbeat"] != 1 || c["rx:digest"] != 1 {
+		t.Errorf("rx counters wrong: %v", c)
+	}
+	if c["tx-bytes"] <= 0 {
+		t.Error("tx-bytes not counted")
+	}
+	if m.Sent(wire.KindHeartbeat) != 1 {
+		t.Error("Sent(heartbeat) != 1")
+	}
+}
+
+func TestTraceEvents(t *testing.T) {
+	mem := trace.NewMemory()
+	params := Defaults(1.0) // always lose
+	k := sim.New(1)
+	m := New(k, params, WithTrace(mem))
+	a := &stubNode{id: 1, pos: geo.Point{X: 0, Y: 0}}
+	b := &stubNode{id: 2, pos: geo.Point{X: 10, Y: 0}}
+	m.Attach(a)
+	m.Attach(b)
+	m.Send(1, &wire.Heartbeat{NID: 1})
+	k.Run()
+	if mem.Count(trace.TypeSend) != 1 {
+		t.Error("no send event")
+	}
+	if mem.Count(trace.TypeDrop) != 1 {
+		t.Error("no drop event")
+	}
+}
+
+func TestAttachValidation(t *testing.T) {
+	k := sim.New(1)
+	m := New(k, lossless())
+	m.Attach(&stubNode{id: 1})
+	for _, bad := range []*stubNode{{id: 1}, {id: wire.NoNode}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Attach(%v) should panic", bad.id)
+				}
+			}()
+			m.Attach(bad)
+		}()
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	k := sim.New(1)
+	cases := []Params{
+		{Range: 0},
+		{Range: 100, LossProb: -0.1},
+		{Range: 100, LossProb: 1.1},
+		{Range: 100, MinDelay: 10, MaxDelay: 5},
+	}
+	for i, p := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: New should panic", i)
+				}
+			}()
+			New(k, p)
+		}()
+	}
+}
+
+func TestGridLargeField(t *testing.T) {
+	// 1000 nodes over a 1000x1000 field: Neighbors via the grid must match
+	// a brute-force scan.
+	k := sim.New(5)
+	params := lossless()
+	m := New(k, params)
+	pts := geo.PlaceUniformRect(k.Rand(), geo.NewRect(1000, 1000), 1000)
+	nodes := make([]*stubNode, len(pts))
+	for i, p := range pts {
+		nodes[i] = &stubNode{id: wire.NodeID(i + 1), pos: p}
+		m.Attach(nodes[i])
+	}
+	for _, probe := range []int{0, 17, 500, 999} {
+		at := nodes[probe].pos
+		got := map[wire.NodeID]bool{}
+		for _, id := range m.Neighbors(at, nodes[probe].id) {
+			got[id] = true
+		}
+		want := map[wire.NodeID]bool{}
+		for _, n := range nodes {
+			if n.id != nodes[probe].id && at.WithinRange(n.pos, params.Range) {
+				want[n.id] = true
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("probe %d: grid found %d neighbors, brute force %d", probe, len(got), len(want))
+		}
+		for id := range want {
+			if !got[id] {
+				t.Fatalf("probe %d: missing neighbor %v", probe, id)
+			}
+		}
+	}
+}
+
+func TestUpdatePos(t *testing.T) {
+	k := sim.New(1)
+	m, nodes := makeField(t, k, lossless(), []geo.Point{{X: 0, Y: 0}, {X: 500, Y: 500}})
+	if len(m.Neighbors(nodes[0].pos, 1)) != 0 {
+		t.Fatal("nodes should start out of range")
+	}
+	old := nodes[1].pos
+	nodes[1].pos = geo.Point{X: 10, Y: 0}
+	m.UpdatePos(2, old)
+	if len(m.Neighbors(nodes[0].pos, 1)) != 1 {
+		t.Error("moved node not found after UpdatePos")
+	}
+	m.UpdatePos(999, old) // unknown id is a no-op
+}

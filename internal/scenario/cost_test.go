@@ -1,0 +1,79 @@
+package scenario
+
+import (
+	"math"
+	"testing"
+
+	"clusterfds/internal/analysis"
+)
+
+// TestCostModelMatchesSimulator validates the analytic steady-state message
+// model (analysis.ClusterCost) against the simulator's actual transmission
+// counters over several failure-free epochs.
+func TestCostModelMatchesSimulator(t *testing.T) {
+	w := Build(Config{Seed: 71, Nodes: 100, FieldSide: 400, LossProb: 0.1})
+	// Let the structure settle, then measure epochs 4..9.
+	w.RunEpochs(4)
+	before := w.MessageCounts()
+	w.RunEpochs(10)
+	after := w.MessageCounts()
+	const epochs = 6
+
+	delta := func(k string) float64 {
+		return float64(after[k]-before[k]) / epochs
+	}
+
+	c := w.Census()
+	model := analysis.ClusterCost{
+		Nodes:    len(w.Operational()),
+		Clusters: c.Clusterheads,
+		Gateways: c.Gateways,
+		LossProb: w.Config().LossProb,
+	}.PerEpoch()
+
+	checks := []struct {
+		name      string
+		measured  float64
+		predicted float64
+		tolerance float64 // relative
+	}{
+		{"heartbeats", delta("tx:heartbeat"), model.Heartbeats, 0.05},
+		{"digests", delta("tx:digest"), model.Digests, 0.05},
+		{"updates", delta("tx:health-update"), model.Updates, 0.1},
+		{"announces", delta("tx:cluster-announce"), model.Announces, 0.1},
+		{"gw registrations", delta("tx:gw-register"), model.GWRegisters, 0.25},
+		{"peer recovery", delta("tx:forward-request") + delta("tx:forwarded-update") + delta("tx:forward-ack"),
+			model.PeerRecovery, 0.45},
+	}
+	for _, ck := range checks {
+		if ck.predicted == 0 {
+			if ck.measured != 0 {
+				t.Errorf("%s: measured %.1f, predicted 0", ck.name, ck.measured)
+			}
+			continue
+		}
+		rel := math.Abs(ck.measured-ck.predicted) / ck.predicted
+		if rel > ck.tolerance {
+			t.Errorf("%s: measured %.1f vs predicted %.1f (%.0f%% off, tolerance %.0f%%)",
+				ck.name, ck.measured, ck.predicted, rel*100, ck.tolerance*100)
+		}
+	}
+}
+
+// TestGossipByteModelMatchesSimulator validates the gossip byte model.
+func TestGossipByteModelMatchesSimulator(t *testing.T) {
+	w := Build(Config{Seed: 72, Nodes: 40, FieldSide: 200, Stack: StackGossip})
+	// Let membership converge (clique-ish field), then measure.
+	w.RunEpochs(4)
+	b0 := w.MessageCounts()["tx-bytes"]
+	w.RunEpochs(8)
+	b1 := w.MessageCounts()["tx-bytes"]
+	measured := float64(b1-b0) / 4 // per gossip period (== heartbeat interval)
+
+	predicted := analysis.GossipBytesPerInterval(40)
+	rel := math.Abs(measured-predicted) / predicted
+	if rel > 0.15 {
+		t.Errorf("gossip bytes per period: measured %.0f vs predicted %.0f (%.0f%% off)",
+			measured, predicted, rel*100)
+	}
+}

@@ -1,0 +1,449 @@
+// Package scenario assembles full-system simulations: a random field of
+// hosts running one of three detector stacks (the paper's cluster-based
+// FDS, the gossip baseline, or the flat-flooding baseline), a crash and
+// replenishment schedule, and uniform metric collection — completeness,
+// detection latency, false suspicions, message and energy costs.
+//
+// The command-line tools, the examples, and the benchmark harness all build
+// on this package, so every experiment measures the same way.
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"clusterfds/internal/aggregate"
+	"clusterfds/internal/baseline"
+	"clusterfds/internal/cluster"
+	"clusterfds/internal/fds"
+	"clusterfds/internal/geo"
+	"clusterfds/internal/intercluster"
+	"clusterfds/internal/node"
+	"clusterfds/internal/radio"
+	"clusterfds/internal/sim"
+	"clusterfds/internal/sleep"
+	"clusterfds/internal/trace"
+	"clusterfds/internal/wire"
+)
+
+// Stack selects the detector stack a world runs.
+type Stack int
+
+// Available stacks.
+const (
+	// StackClusterFDS is the paper's system: cluster formation, the
+	// three-round FDS, and inter-cluster failure-report forwarding.
+	StackClusterFDS Stack = iota + 1
+	// StackGossip is the gossip-style baseline (van Renesse et al.).
+	StackGossip
+	// StackFlood is the flat-flooding heartbeat baseline.
+	StackFlood
+)
+
+// String implements fmt.Stringer.
+func (s Stack) String() string {
+	switch s {
+	case StackClusterFDS:
+		return "cluster-fds"
+	case StackGossip:
+		return "gossip"
+	case StackFlood:
+		return "flood"
+	default:
+		return fmt.Sprintf("stack(%d)", int(s))
+	}
+}
+
+// Config describes a scenario.
+type Config struct {
+	// Seed drives all randomness; equal seeds give identical runs.
+	Seed int64
+	// Nodes is the initial population.
+	Nodes int
+	// FieldSide is the deployment square's edge length in meters.
+	FieldSide float64
+	// LossProb is the medium's per-receiver loss probability p.
+	LossProb float64
+	// Stack selects the detector.
+	Stack Stack
+	// Timing is the cluster/FDS schedule (cluster stack only); zero means
+	// cluster.DefaultTiming().
+	Timing cluster.Timing
+	// PeerForwarding, BGWAssist, ImplicitAcks gate the robustness
+	// mechanisms for ablation studies; Build turns all three on unless
+	// DisablePeerForwarding etc. are set.
+	DisablePeerForwarding bool
+	DisableBGWAssist      bool
+	DisableImplicitAcks   bool
+	// BaselinePeriod is the heartbeat/gossip period for the baselines;
+	// zero means the cluster timing's interval (fair comparison).
+	BaselinePeriod sim.Time
+	// FloodTTL bounds flood relaying; zero means 16.
+	FloodTTL uint8
+	// Trace receives structured events; nil means discard.
+	Trace trace.Sink
+	// MonitorPeriod is how often detection latency is sampled; zero means
+	// 500 ms.
+	MonitorPeriod sim.Time
+	// AggregateSampler, when set, attaches the in-network aggregation
+	// service (cluster stack only) with the given per-host sensor model.
+	AggregateSampler func(wire.NodeID, wire.Epoch) (float64, bool)
+	// Sleep, when set, attaches the duty-cycling policy (cluster stack
+	// only).
+	Sleep *sleep.Config
+}
+
+func (c Config) withDefaults() Config {
+	if c.Nodes <= 0 {
+		c.Nodes = 100
+	}
+	if c.FieldSide <= 0 {
+		c.FieldSide = 500
+	}
+	if c.Stack == 0 {
+		c.Stack = StackClusterFDS
+	}
+	if !c.Timing.Valid() {
+		c.Timing = cluster.DefaultTiming()
+	}
+	if c.BaselinePeriod <= 0 {
+		c.BaselinePeriod = c.Timing.Interval
+	}
+	if c.FloodTTL == 0 {
+		c.FloodTTL = 16
+	}
+	if c.Trace == nil {
+		c.Trace = trace.Nop{}
+	}
+	if c.MonitorPeriod <= 0 {
+		c.MonitorPeriod = sim.Time(500 * time.Millisecond)
+	}
+	return c
+}
+
+// World is a built scenario ready to run.
+type World struct {
+	cfg    Config
+	Kernel *sim.Kernel
+	Medium *radio.Medium
+
+	hosts   map[wire.NodeID]*node.Host
+	order   []wire.NodeID // insertion order, for deterministic iteration
+	dets    map[wire.NodeID]baseline.Detector
+	cls     map[wire.NodeID]*cluster.Protocol
+	fdss    map[wire.NodeID]*fds.Protocol
+	aggs    map[wire.NodeID]*aggregate.Protocol
+	nextNID wire.NodeID
+
+	crashedAt      map[wire.NodeID]sim.Time
+	firstSuspected map[wire.NodeID]map[wire.NodeID]sim.Time // subject -> observer -> time
+}
+
+// Build constructs the world: hosts placed uniformly at random over the
+// field, all booted at time zero.
+func Build(cfg Config) *World {
+	cfg = cfg.withDefaults()
+	k := sim.New(cfg.Seed)
+	m := radio.New(k, radio.Defaults(cfg.LossProb), radio.WithTrace(cfg.Trace))
+	w := &World{
+		cfg:            cfg,
+		Kernel:         k,
+		Medium:         m,
+		hosts:          make(map[wire.NodeID]*node.Host),
+		dets:           make(map[wire.NodeID]baseline.Detector),
+		cls:            make(map[wire.NodeID]*cluster.Protocol),
+		fdss:           make(map[wire.NodeID]*fds.Protocol),
+		aggs:           make(map[wire.NodeID]*aggregate.Protocol),
+		nextNID:        1,
+		crashedAt:      make(map[wire.NodeID]sim.Time),
+		firstSuspected: make(map[wire.NodeID]map[wire.NodeID]sim.Time),
+	}
+	field := geo.NewRect(cfg.FieldSide, cfg.FieldSide)
+	for i := 0; i < cfg.Nodes; i++ {
+		w.addHost(geo.UniformInRect(k.Rand(), field))
+	}
+	w.scheduleMonitor()
+	return w
+}
+
+// addHost creates, equips, and boots one host at pos.
+func (w *World) addHost(pos geo.Point) wire.NodeID {
+	id := w.nextNID
+	w.nextNID++
+	w.addHostWithID(id, pos)
+	return id
+}
+
+// addHostWithID creates, equips, and boots one host with a pre-reserved NID.
+func (w *World) addHostWithID(id wire.NodeID, pos geo.Point) {
+	h := node.New(w.Kernel, w.Medium, id, pos, node.WithTrace(w.cfg.Trace))
+	switch w.cfg.Stack {
+	case StackClusterFDS:
+		cl := cluster.New(cluster.DefaultConfig())
+		fcfg := fds.DefaultConfig(w.cfg.Timing)
+		fcfg.PeerForwarding = !w.cfg.DisablePeerForwarding
+		f := fds.New(fcfg, cl)
+		icfg := intercluster.DefaultConfig(w.cfg.Timing)
+		icfg.BGWAssist = !w.cfg.DisableBGWAssist
+		icfg.ImplicitAcks = !w.cfg.DisableImplicitAcks
+		fw := intercluster.New(icfg, cl, f)
+		h.Use(cl)
+		h.Use(f)
+		h.Use(fw)
+		if w.cfg.AggregateSampler != nil {
+			sampler := w.cfg.AggregateSampler
+			ag := aggregate.New(aggregate.DefaultConfig(w.cfg.Timing), cl, f,
+				func(e wire.Epoch) (float64, bool) { return sampler(id, e) })
+			h.Use(ag)
+			w.aggs[id] = ag
+		}
+		if w.cfg.Sleep != nil {
+			h.Use(sleep.New(*w.cfg.Sleep, cl))
+		}
+		w.cls[id] = cl
+		w.fdss[id] = f
+		w.dets[id] = f
+	case StackGossip:
+		g := baseline.NewGossip(baseline.GossipConfig{
+			Interval:     w.cfg.BaselinePeriod,
+			SuspectAfter: 4 * w.cfg.BaselinePeriod,
+		})
+		h.Use(g)
+		w.dets[id] = g
+	case StackFlood:
+		f := baseline.NewFlood(baseline.FloodConfig{
+			Interval:     w.cfg.BaselinePeriod,
+			TTL:          w.cfg.FloodTTL,
+			SuspectAfter: 4 * w.cfg.BaselinePeriod,
+			RelayJitter:  sim.Time(5 * time.Millisecond),
+		})
+		h.Use(f)
+		w.dets[id] = f
+	default:
+		panic(fmt.Sprintf("scenario: unknown stack %v", w.cfg.Stack))
+	}
+	w.hosts[id] = h
+	w.order = append(w.order, id)
+	h.Boot()
+}
+
+// scheduleMonitor samples, at the monitor period, which observers have
+// begun suspecting each crashed subject — a stack-agnostic way to measure
+// detection and dissemination latency.
+func (w *World) scheduleMonitor() {
+	var tick func()
+	tick = func() {
+		now := w.Kernel.Now()
+		for subject := range w.crashedAt {
+			obs := w.firstSuspected[subject]
+			if obs == nil {
+				obs = make(map[wire.NodeID]sim.Time)
+				w.firstSuspected[subject] = obs
+			}
+			for _, id := range w.order {
+				if id == subject || w.hosts[id].Crashed() {
+					continue
+				}
+				if _, done := obs[id]; done {
+					continue
+				}
+				if w.dets[id].IsSuspected(subject) {
+					obs[id] = now
+				}
+			}
+		}
+		w.Kernel.Schedule(w.cfg.MonitorPeriod, tick)
+	}
+	w.Kernel.Schedule(w.cfg.MonitorPeriod, tick)
+}
+
+// Run advances the world to the given absolute virtual time.
+func (w *World) Run(until sim.Time) { w.Kernel.RunUntil(until) }
+
+// RunEpochs advances the world through n heartbeat intervals.
+func (w *World) RunEpochs(n int) {
+	w.Run(sim.Time(uint64(w.cfg.Timing.Interval) * uint64(n)))
+}
+
+// CrashAt schedules a fail-stop crash of id at the given absolute time.
+func (w *World) CrashAt(at sim.Time, id wire.NodeID) {
+	h, ok := w.hosts[id]
+	if !ok {
+		panic(fmt.Sprintf("scenario: no host %v", id))
+	}
+	w.Kernel.At(at, func() {
+		if !h.Crashed() {
+			h.Crash()
+			w.crashedAt[id] = w.Kernel.Now()
+		}
+	})
+}
+
+// CrashRandomAt schedules count crashes of distinct, currently scheduled-
+// alive hosts at the given time, chosen deterministically from the seed.
+func (w *World) CrashRandomAt(at sim.Time, count int) []wire.NodeID {
+	candidates := make([]wire.NodeID, 0, len(w.order))
+	scheduled := make(map[wire.NodeID]bool, len(w.crashedAt))
+	for id := range w.crashedAt {
+		scheduled[id] = true
+	}
+	for _, id := range w.order {
+		if !scheduled[id] && !w.hosts[id].Crashed() {
+			candidates = append(candidates, id)
+		}
+	}
+	w.Kernel.Rand().Shuffle(len(candidates), func(i, j int) {
+		candidates[i], candidates[j] = candidates[j], candidates[i]
+	})
+	if count > len(candidates) {
+		count = len(candidates)
+	}
+	picked := candidates[:count]
+	for _, id := range picked {
+		w.CrashAt(at, id)
+	}
+	sorted := append([]wire.NodeID(nil), picked...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return sorted
+}
+
+// DeployAt schedules a replenishment host to appear at pos at the given
+// time (Section 2.1: "additional resources will be deployed to replenish
+// the system"). It returns the new host's NID, reserved immediately.
+func (w *World) DeployAt(at sim.Time, pos geo.Point) wire.NodeID {
+	id := w.nextNID
+	w.nextNID++
+	w.Kernel.At(at, func() { w.addHostWithID(id, pos) })
+	return id
+}
+
+// --- metrics -------------------------------------------------------------------
+
+// Operational returns the NIDs of hosts that are alive right now, sorted.
+func (w *World) Operational() []wire.NodeID {
+	var out []wire.NodeID
+	for _, id := range w.order {
+		if !w.hosts[id].Crashed() {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Completeness returns, for the given crashed subject, how many operational
+// hosts currently suspect it and how many operational hosts there are.
+func (w *World) Completeness(subject wire.NodeID) (aware, operational int) {
+	for _, id := range w.order {
+		if id == subject || w.hosts[id].Crashed() {
+			continue
+		}
+		operational++
+		if w.dets[id].IsSuspected(subject) {
+			aware++
+		}
+	}
+	return aware, operational
+}
+
+// FalseSuspicions returns every (observer, subject) pair where an
+// operational observer currently suspects an operational subject — the
+// accuracy property's violations.
+func (w *World) FalseSuspicions() [][2]wire.NodeID {
+	var out [][2]wire.NodeID
+	for _, obs := range w.order {
+		if w.hosts[obs].Crashed() {
+			continue
+		}
+		for _, subject := range w.dets[obs].KnownFailed() {
+			if h, ok := w.hosts[subject]; ok && !h.Crashed() {
+				out = append(out, [2]wire.NodeID{obs, subject})
+			}
+		}
+	}
+	return out
+}
+
+// DetectionLatencies returns, for the subject, the per-observer latency
+// from the crash instant to the first sample at which the observer
+// suspected it (resolution = the monitor period). Observers that never
+// noticed are absent.
+func (w *World) DetectionLatencies(subject wire.NodeID) []sim.Time {
+	crash, crashed := w.crashedAt[subject]
+	if !crashed {
+		return nil
+	}
+	obs := w.firstSuspected[subject]
+	out := make([]sim.Time, 0, len(obs))
+	for _, at := range obs {
+		out = append(out, at-crash)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ClusterCensus summarizes the cluster structure (cluster stack only):
+// the number of clusterheads, admitted members, gateways, and unmarked
+// hosts among operational hosts.
+type ClusterCensus struct {
+	Clusterheads int
+	Members      int
+	Gateways     int
+	Unmarked     int
+}
+
+// Census computes the current cluster census. It panics for baseline
+// stacks, which have no cluster structure.
+func (w *World) Census() ClusterCensus {
+	if w.cfg.Stack != StackClusterFDS {
+		panic("scenario: census requires the cluster stack")
+	}
+	var c ClusterCensus
+	for _, id := range w.order {
+		if w.hosts[id].Crashed() {
+			continue
+		}
+		v := w.cls[id].View()
+		switch {
+		case !v.Marked:
+			c.Unmarked++
+		case v.IsCH:
+			c.Clusterheads++
+		default:
+			c.Members++
+			if v.IsGW() {
+				c.Gateways++
+			}
+		}
+	}
+	return c
+}
+
+// MessageCounts returns the medium's per-kind transmission tallies.
+func (w *World) MessageCounts() map[string]int64 { return w.Medium.Counters() }
+
+// TotalEnergySpent returns the fleet's cumulative energy expenditure.
+func (w *World) TotalEnergySpent() float64 { return w.Medium.TotalEnergySpent() }
+
+// Host returns the host with the given NID (nil if unknown).
+func (w *World) Host(id wire.NodeID) *node.Host { return w.hosts[id] }
+
+// Detector returns the detector running on the given host.
+func (w *World) Detector(id wire.NodeID) baseline.Detector { return w.dets[id] }
+
+// FDS returns the cluster-based FDS on the given host (nil for baselines).
+func (w *World) FDS(id wire.NodeID) *fds.Protocol { return w.fdss[id] }
+
+// Cluster returns the cluster protocol on the given host (nil for
+// baselines).
+func (w *World) Cluster(id wire.NodeID) *cluster.Protocol { return w.cls[id] }
+
+// Aggregate returns the aggregation service on the given host (nil when
+// aggregation is not enabled).
+func (w *World) Aggregate(id wire.NodeID) *aggregate.Protocol { return w.aggs[id] }
+
+// Config returns the (defaulted) configuration the world was built with.
+func (w *World) Config() Config { return w.cfg }
+
+// NodeIDs returns all host NIDs in insertion order.
+func (w *World) NodeIDs() []wire.NodeID { return append([]wire.NodeID(nil), w.order...) }

@@ -1,0 +1,208 @@
+// Package sim implements the discrete-event simulation kernel on which the
+// wireless medium, the host runtime, and every protocol in this repository
+// run. It provides a virtual clock, an ordered event queue, cancellable
+// timers, and a deterministic random-number source.
+//
+// The kernel is deliberately single-threaded: protocol handlers execute one
+// at a time in virtual-time order, so no protocol code needs locks and every
+// run with the same seed is bit-for-bit reproducible. This mirrors how the
+// paper's analysis treats a round: a bounded window (Thop) within which all
+// deliveries either happen or are lost.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a point in virtual time, measured from the start of the run.
+// It reuses time.Duration so protocol code can write 20*time.Millisecond.
+type Time = time.Duration
+
+// Handler is a callback executed when an event fires.
+type Handler func()
+
+// event is a scheduled callback. seq breaks ties so that events scheduled
+// for the same instant fire in scheduling order (FIFO), which keeps runs
+// deterministic.
+type event struct {
+	at       Time
+	seq      uint64
+	fn       Handler
+	canceled bool
+	index    int // heap index, maintained by eventQueue
+}
+
+// eventQueue is a min-heap ordered by (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Timer is a handle to a scheduled event that can be canceled. The zero
+// value is an inert timer: Cancel and Active are safe to call on it.
+type Timer struct {
+	ev *event
+}
+
+// Cancel prevents the timer's handler from running if it has not fired yet.
+// Canceling an already-fired or already-canceled timer is a no-op.
+func (t Timer) Cancel() {
+	if t.ev != nil {
+		t.ev.canceled = true
+	}
+}
+
+// Active reports whether the timer is still pending (scheduled, not fired,
+// not canceled).
+func (t Timer) Active() bool {
+	return t.ev != nil && !t.ev.canceled && t.ev.index >= 0
+}
+
+// Kernel is the discrete-event scheduler. Create one with New; the zero
+// value is not usable because it lacks a random source.
+type Kernel struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	rng     *rand.Rand
+	stopped bool
+	steps   uint64
+}
+
+// New returns a kernel whose random source is seeded with seed. Two kernels
+// created with the same seed and driven by the same protocol code produce
+// identical runs.
+func New(seed int64) *Kernel {
+	return &Kernel{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Rand returns the kernel's deterministic random source. All randomness in
+// a simulation (placement, loss, jitter, crash times) must come from here so
+// runs are reproducible from the seed alone.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// Steps returns the number of events executed so far. Useful for progress
+// accounting and for benchmarks.
+func (k *Kernel) Steps() uint64 { return k.steps }
+
+// Pending returns the number of events currently scheduled (including
+// canceled events that have not yet been popped).
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+// Schedule runs fn after the given delay of virtual time and returns a
+// cancellable handle. A negative delay is treated as zero: the event fires
+// at the current instant, after all events already scheduled for it.
+func (k *Kernel) Schedule(delay Time, fn Handler) Timer {
+	if fn == nil {
+		panic("sim: Schedule called with nil handler")
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	ev := &event{at: k.now + delay, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.queue, ev)
+	return Timer{ev: ev}
+}
+
+// At runs fn at the given absolute virtual time, which must not be in the
+// past. It returns a cancellable handle.
+func (k *Kernel) At(at Time, fn Handler) Timer {
+	if at < k.now {
+		panic(fmt.Sprintf("sim: At(%v) is in the past (now %v)", at, k.now))
+	}
+	return k.Schedule(at-k.now, fn)
+}
+
+// Stop makes the currently running Run/RunUntil return after the event being
+// executed completes. Pending events remain queued.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// step pops and executes the next live event. It reports whether an event
+// was executed.
+func (k *Kernel) step() bool {
+	for len(k.queue) > 0 {
+		ev := heap.Pop(&k.queue).(*event)
+		if ev.canceled {
+			continue
+		}
+		k.now = ev.at
+		k.steps++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or Stop is called. It returns
+// the virtual time at which the run ended.
+func (k *Kernel) Run() Time {
+	k.stopped = false
+	for !k.stopped && k.step() {
+	}
+	return k.now
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to the deadline. Events scheduled after the deadline stay queued, so
+// simulations can be resumed by calling RunUntil again with a later deadline.
+func (k *Kernel) RunUntil(deadline Time) Time {
+	k.stopped = false
+	for !k.stopped {
+		next, ok := k.peekTime()
+		if !ok || next > deadline {
+			break
+		}
+		k.step()
+	}
+	if !k.stopped && k.now < deadline {
+		k.now = deadline
+	}
+	return k.now
+}
+
+// peekTime returns the timestamp of the next live event.
+func (k *Kernel) peekTime() (Time, bool) {
+	for len(k.queue) > 0 {
+		if k.queue[0].canceled {
+			heap.Pop(&k.queue)
+			continue
+		}
+		return k.queue[0].at, true
+	}
+	return 0, false
+}

@@ -1,0 +1,287 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	k := New(1)
+	var got []int
+	k.Schedule(30*time.Millisecond, func() { got = append(got, 3) })
+	k.Schedule(10*time.Millisecond, func() { got = append(got, 1) })
+	k.Schedule(20*time.Millisecond, func() { got = append(got, 2) })
+	k.Run()
+	want := []int{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if k.Now() != 30*time.Millisecond {
+		t.Errorf("Now = %v, want 30ms", k.Now())
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	k := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.Schedule(5*time.Millisecond, func() { got = append(got, i) })
+	}
+	k.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("events at same instant fired out of scheduling order: %v", got)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	k := New(1)
+	var fired []Time
+	k.Schedule(time.Second, func() {
+		fired = append(fired, k.Now())
+		k.Schedule(time.Second, func() {
+			fired = append(fired, k.Now())
+		})
+	})
+	k.Run()
+	if len(fired) != 2 || fired[0] != time.Second || fired[1] != 2*time.Second {
+		t.Fatalf("fired = %v, want [1s 2s]", fired)
+	}
+}
+
+func TestZeroAndNegativeDelay(t *testing.T) {
+	k := New(1)
+	ran := 0
+	k.Schedule(0, func() { ran++ })
+	k.Schedule(-5*time.Second, func() { ran++ })
+	k.Run()
+	if ran != 2 {
+		t.Fatalf("ran = %d, want 2", ran)
+	}
+	if k.Now() != 0 {
+		t.Fatalf("Now = %v, want 0", k.Now())
+	}
+}
+
+func TestTimerCancel(t *testing.T) {
+	k := New(1)
+	ran := false
+	tm := k.Schedule(time.Second, func() { ran = true })
+	if !tm.Active() {
+		t.Fatal("timer should be active before firing")
+	}
+	tm.Cancel()
+	if tm.Active() {
+		t.Fatal("timer should be inactive after cancel")
+	}
+	k.Run()
+	if ran {
+		t.Fatal("canceled timer fired")
+	}
+	// Cancel after run is a no-op.
+	tm.Cancel()
+}
+
+func TestZeroTimerIsInert(t *testing.T) {
+	var tm Timer
+	tm.Cancel()
+	if tm.Active() {
+		t.Fatal("zero timer should be inactive")
+	}
+}
+
+func TestTimerActiveLifecycle(t *testing.T) {
+	k := New(1)
+	var tm Timer
+	tm = k.Schedule(time.Second, func() {
+		if tm.Active() {
+			t.Error("timer should not be active while firing")
+		}
+	})
+	k.Run()
+	if tm.Active() {
+		t.Error("timer should be inactive after firing")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	k := New(1)
+	var fired []int
+	k.Schedule(1*time.Second, func() { fired = append(fired, 1) })
+	k.Schedule(2*time.Second, func() { fired = append(fired, 2) })
+	k.Schedule(3*time.Second, func() { fired = append(fired, 3) })
+
+	k.RunUntil(2 * time.Second)
+	if len(fired) != 2 {
+		t.Fatalf("after RunUntil(2s): fired = %v, want [1 2]", fired)
+	}
+	if k.Now() != 2*time.Second {
+		t.Fatalf("Now = %v, want 2s", k.Now())
+	}
+	if k.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", k.Pending())
+	}
+
+	// Resume.
+	k.RunUntil(10 * time.Second)
+	if len(fired) != 3 {
+		t.Fatalf("after resume: fired = %v, want [1 2 3]", fired)
+	}
+	if k.Now() != 10*time.Second {
+		t.Fatalf("Now = %v, want 10s (clock advances to deadline)", k.Now())
+	}
+}
+
+func TestRunUntilEmptyQueueAdvancesClock(t *testing.T) {
+	k := New(1)
+	k.RunUntil(5 * time.Second)
+	if k.Now() != 5*time.Second {
+		t.Fatalf("Now = %v, want 5s", k.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	k := New(1)
+	var fired []int
+	k.Schedule(1*time.Second, func() {
+		fired = append(fired, 1)
+		k.Stop()
+	})
+	k.Schedule(2*time.Second, func() { fired = append(fired, 2) })
+	k.Run()
+	if len(fired) != 1 {
+		t.Fatalf("fired = %v, want [1]", fired)
+	}
+	// The stopped flag resets on the next Run.
+	k.Run()
+	if len(fired) != 2 {
+		t.Fatalf("fired = %v, want [1 2]", fired)
+	}
+}
+
+func TestAt(t *testing.T) {
+	k := New(1)
+	var at Time
+	k.Schedule(time.Second, func() {
+		k.At(5*time.Second, func() { at = k.Now() })
+	})
+	k.Run()
+	if at != 5*time.Second {
+		t.Fatalf("At fired at %v, want 5s", at)
+	}
+}
+
+func TestAtPastPanics(t *testing.T) {
+	k := New(1)
+	k.Schedule(time.Second, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("At in the past should panic")
+			}
+		}()
+		k.At(500*time.Millisecond, func() {})
+	})
+	k.Run()
+}
+
+func TestScheduleNilPanics(t *testing.T) {
+	k := New(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("Schedule(nil) should panic")
+		}
+	}()
+	k.Schedule(time.Second, nil)
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) []int64 {
+		k := New(seed)
+		var out []int64
+		var tick func()
+		n := 0
+		tick = func() {
+			out = append(out, int64(k.Now()), k.Rand().Int63n(1000))
+			n++
+			if n < 50 {
+				k.Schedule(Time(k.Rand().Int63n(int64(time.Second))), tick)
+			}
+		}
+		k.Schedule(0, tick)
+		k.Run()
+		return out
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("different lengths: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical runs")
+	}
+}
+
+func TestSteps(t *testing.T) {
+	k := New(1)
+	for i := 0; i < 7; i++ {
+		k.Schedule(Time(i)*time.Second, func() {})
+	}
+	canceled := k.Schedule(8*time.Second, func() {})
+	canceled.Cancel()
+	k.Run()
+	if k.Steps() != 7 {
+		t.Fatalf("Steps = %d, want 7 (canceled events do not count)", k.Steps())
+	}
+}
+
+// TestQueueOrderProperty drives the kernel with random delays and checks
+// events always fire in nondecreasing time order.
+func TestQueueOrderProperty(t *testing.T) {
+	f := func(seed int64, raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 200 {
+			raw = raw[:200]
+		}
+		k := New(seed)
+		var times []Time
+		for _, r := range raw {
+			d := Time(r % 1e9)
+			k.Schedule(d, func() { times = append(times, k.Now()) })
+		}
+		k.Run()
+		if len(times) != len(raw) {
+			return false
+		}
+		return sort.SliceIsSorted(times, func(i, j int) bool { return times[i] < times[j] })
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(9))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

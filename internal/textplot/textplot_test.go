@@ -1,0 +1,75 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasics(t *testing.T) {
+	c := Chart{
+		Title:  "test chart",
+		XLabel: "p",
+		LogY:   true,
+		Series: []Series{
+			{Name: "N=50", X: []float64{0.1, 0.2, 0.3}, Y: []float64{1e-2, 1e-4, 1e-6}},
+			{Name: "N=100", X: []float64{0.1, 0.2, 0.3}, Y: []float64{1e-8, 1e-12, 1e-16}},
+		},
+	}
+	out := c.Render()
+	for _, want := range []string{"test chart", "N=50", "N=100", "legend:", "p"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Error("markers missing")
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	out := Chart{Title: "empty"}.Render()
+	if !strings.Contains(out, "no data") {
+		t.Errorf("empty chart output: %q", out)
+	}
+}
+
+func TestRenderSinglePoint(t *testing.T) {
+	c := Chart{Series: []Series{{Name: "one", X: []float64{1}, Y: []float64{5}}}}
+	out := c.Render()
+	if !strings.Contains(out, "*") {
+		t.Error("single point not plotted")
+	}
+}
+
+func TestRenderClampsToFloor(t *testing.T) {
+	c := Chart{
+		LogY:   true,
+		YFloor: 1e-10,
+		Series: []Series{{Name: "s", X: []float64{0, 1}, Y: []float64{0, 1}}},
+	}
+	// Must not panic on zero values under log scale.
+	if out := c.Render(); out == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestMarkersCycleAndOverride(t *testing.T) {
+	c := Chart{Series: []Series{
+		{Name: "a", X: []float64{0}, Y: []float64{0}, Marker: 'Q'},
+		{Name: "b", X: []float64{1}, Y: []float64{1}},
+	}}
+	out := c.Render()
+	if !strings.Contains(out, "Q a") {
+		t.Error("marker override not used in legend")
+	}
+}
+
+func TestLinearScale(t *testing.T) {
+	c := Chart{
+		Series: []Series{{Name: "lin", X: []float64{0, 1, 2}, Y: []float64{0, 50, 100}}},
+	}
+	out := c.Render()
+	if !strings.Contains(out, "100") {
+		t.Errorf("y-axis label missing:\n%s", out)
+	}
+}

@@ -16,6 +16,7 @@ package montecarlo
 
 import (
 	"fmt"
+	"math/rand"
 
 	"clusterfds/internal/analysis"
 	"clusterfds/internal/cluster"
@@ -23,6 +24,7 @@ import (
 	"clusterfds/internal/geo"
 	"clusterfds/internal/node"
 	"clusterfds/internal/radio"
+	"clusterfds/internal/replicate"
 	"clusterfds/internal/sim"
 	"clusterfds/internal/stats"
 	"clusterfds/internal/wire"
@@ -39,8 +41,12 @@ type ClusterExperiment struct {
 	Radius float64
 	// Trials is the number of independent replications.
 	Trials int
-	// Seed makes the experiment reproducible.
+	// Seed makes the experiment reproducible. Trial i runs on a kernel
+	// seeded with replicate.Seed(Seed, i), so the result is a pure function
+	// of (Seed, Trials) — Workers never changes the statistics.
 	Seed int64
+	// Workers is the replication fan-out (0 = GOMAXPROCS, 1 = serial).
+	Workers int
 }
 
 // Outcome pairs an empirical estimate with its analytic prediction.
@@ -161,22 +167,37 @@ func (t *trial) runOneExecution() {
 	t.kernel.RunUntil(t.timing.Interval - 1)
 }
 
+// runTrials fans e.Trials independent trials out over the replication
+// engine, each on a kernel seeded deterministically from (e.Seed, i), and
+// folds the per-trial verdicts into a proportion in trial order. Per-trial
+// kernels share no mutable state, so any worker count yields bit-identical
+// results.
+func (e ClusterExperiment) runTrials(dchAdjacent bool, verdict func(*trial) bool) stats.Proportion {
+	verdicts, _ := replicate.RunOpts(replicate.Opts{Workers: e.Workers}, e.Trials, e.Seed,
+		func(i int, _ *rand.Rand) bool {
+			t := newTrial(e, replicate.Seed(e.Seed, i), dchAdjacent)
+			t.runOneExecution()
+			return verdict(t)
+		})
+	var p stats.Proportion
+	for _, v := range verdicts {
+		p.AddOutcome(v)
+	}
+	return p
+}
+
 // FalseDetection measures P̂(False detection): the probability the CH
 // falsely judges the operational circumference subject failed in one
 // execution (Figure 5 cross-validation).
 func (e ClusterExperiment) FalseDetection() Outcome {
 	e = e.defaults()
-	out := Outcome{
+	return Outcome{
 		Name:     fmt.Sprintf("P(False detection) N=%d p=%.2f", e.N, e.LossProb),
 		Analytic: analysis.FalseDetection(e.N, e.LossProb),
+		Empirical: e.runTrials(false, func(t *trial) bool {
+			return t.fdss[0].IsSuspected(wire.NodeID(t.subject + 1))
+		}),
 	}
-	for i := 0; i < e.Trials; i++ {
-		t := newTrial(e, e.Seed+int64(i), false)
-		t.runOneExecution()
-		suspect := t.fdss[0].IsSuspected(wire.NodeID(t.subject + 1))
-		out.Empirical.AddOutcome(suspect)
-	}
-	return out
 }
 
 // FalseDetectionOnCH measures P(False detection on CH): the probability the
@@ -184,16 +205,13 @@ func (e ClusterExperiment) FalseDetection() Outcome {
 // cross-validation).
 func (e ClusterExperiment) FalseDetectionOnCH() Outcome {
 	e = e.defaults()
-	out := Outcome{
+	return Outcome{
 		Name:     fmt.Sprintf("P(False detection on CH) N=%d p=%.2f", e.N, e.LossProb),
 		Analytic: analysis.FalseDetectionOnCH(e.N, e.LossProb),
+		Empirical: e.runTrials(true, func(t *trial) bool {
+			return t.cls[t.dchIdx].View().IsCH
+		}),
 	}
-	for i := 0; i < e.Trials; i++ {
-		t := newTrial(e, e.Seed+int64(i), true)
-		t.runOneExecution()
-		out.Empirical.AddOutcome(t.cls[t.dchIdx].View().IsCH)
-	}
-	return out
 }
 
 // Incompleteness measures P̂(Incompleteness): the probability the
@@ -201,16 +219,13 @@ func (e ClusterExperiment) FalseDetectionOnCH() Outcome {
 // update despite peer forwarding (Figure 7 cross-validation).
 func (e ClusterExperiment) Incompleteness() Outcome {
 	e = e.defaults()
-	out := Outcome{
+	return Outcome{
 		Name:     fmt.Sprintf("P(Incompleteness) N=%d p=%.2f", e.N, e.LossProb),
 		Analytic: analysis.Incompleteness(e.N, e.LossProb),
+		Empirical: e.runTrials(false, func(t *trial) bool {
+			return !t.fdss[t.subject].UpdateReceived()
+		}),
 	}
-	for i := 0; i < e.Trials; i++ {
-		t := newTrial(e, e.Seed+int64(i), false)
-		t.runOneExecution()
-		out.Empirical.AddOutcome(!t.fdss[t.subject].UpdateReceived())
-	}
-	return out
 }
 
 // AllMeasures runs the three validations at the experiment's parameters.

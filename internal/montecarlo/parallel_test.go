@@ -1,0 +1,60 @@
+package montecarlo
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestParallelDeterminism is the acceptance test for the replication
+// engine's reproducibility guarantee: for all three measures, workers=1
+// (serial) and workers=8 produce identical Outcome values, and two runs
+// with the same seed are bit-identical.
+func TestParallelDeterminism(t *testing.T) {
+	base := ClusterExperiment{N: 8, LossProb: 0.5, Trials: 200, Seed: 31}
+
+	measures := []struct {
+		name string
+		run  func(ClusterExperiment) Outcome
+	}{
+		{"FalseDetection", ClusterExperiment.FalseDetection},
+		{"FalseDetectionOnCH", ClusterExperiment.FalseDetectionOnCH},
+		{"Incompleteness", ClusterExperiment.Incompleteness},
+	}
+	for _, m := range measures {
+		serial := base
+		serial.Workers = 1
+		parallel := base
+		parallel.Workers = 8
+
+		s1 := m.run(serial)
+		p1 := m.run(parallel)
+		if !reflect.DeepEqual(s1, p1) {
+			t.Errorf("%s: workers=1 and workers=8 diverge:\n  serial:   %+v\n  parallel: %+v",
+				m.name, s1, p1)
+		}
+		// Same seed, same worker count: bit-identical repeat.
+		p2 := m.run(parallel)
+		if !reflect.DeepEqual(p1, p2) {
+			t.Errorf("%s: two identical parallel runs diverge:\n  first:  %+v\n  second: %+v",
+				m.name, p1, p2)
+		}
+		// And the rendered summary line matches byte for byte.
+		if s1.String() != p1.String() {
+			t.Errorf("%s: summary text diverges:\n  serial:   %s\n  parallel: %s",
+				m.name, s1, p1)
+		}
+	}
+}
+
+// TestWorkerCountSweep drives the same experiment at several worker counts
+// and requires identical empirical counts from each.
+func TestWorkerCountSweep(t *testing.T) {
+	ref := ClusterExperiment{N: 6, LossProb: 0.6, Trials: 120, Seed: 77, Workers: 1}.FalseDetection()
+	for _, w := range []int{0, 2, 3, 5, 16} {
+		e := ClusterExperiment{N: 6, LossProb: 0.6, Trials: 120, Seed: 77, Workers: w}
+		got := e.FalseDetection()
+		if got.Empirical != ref.Empirical {
+			t.Errorf("workers=%d: empirical %+v, want %+v", w, got.Empirical, ref.Empirical)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+// Package replicate fans independent, seeded simulation replicas out over a
+// worker pool. Every empirical experiment in this repository — the Section 5
+// Monte-Carlo cross-validation, the DCH reachability study, the scenario
+// sweeps, and cmd/fdsim — repeats the same deterministic kernel thousands of
+// times with different seeds; those repetitions share no state, so they
+// parallelize perfectly across GOMAXPROCS cores.
+//
+// Determinism is the design center. Each replica i derives its own random
+// stream from (seed, i) alone via a SplitMix64 mix, never from scheduling
+// order, and results are collected into slot i of the output slice. A run
+// with 8 workers is therefore bit-for-bit identical to a run with 1 worker,
+// and to any other run with the same seed — parallelism changes wall-clock
+// time, nothing else.
+package replicate
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Body is one replica: index i in [0, n) and a private random source derived
+// deterministically from the experiment seed and i. The body must not share
+// mutable state with other replicas; everything it touches should hang off
+// the rng (e.g. a sim.Kernel seeded from Seed(seed, i)).
+type Body[R any] func(i int, rng *rand.Rand) R
+
+// Opts tunes a run. The zero value is ready to use.
+type Opts struct {
+	// Workers is the pool size; 0 means runtime.GOMAXPROCS(0). Workers == 1
+	// runs the bodies inline on the calling goroutine, which is the exact
+	// legacy serial execution (no goroutines, no channels).
+	Workers int
+	// ChunkSize is how many consecutive replicas a worker claims at a time;
+	// 0 picks a size that gives each worker several chunks (amortizing the
+	// claim while keeping the tail balanced).
+	ChunkSize int
+	// Progress, when non-nil, is called after chunks complete with the
+	// number of finished replicas and the total. Calls are serialized and
+	// done is non-decreasing, but (with several workers) a call may lag the
+	// true count momentarily.
+	Progress func(done, total int)
+	// Context, when non-nil, cancels the run early: workers stop claiming
+	// chunks once it is done and RunOpts returns ctx.Err(). Replicas that
+	// already ran keep their slots; unstarted slots hold zero values.
+	Context context.Context
+}
+
+// splitmix64 is the finalizer from Steele et al.'s SplitMix64 generator —
+// a strong 64-bit mixer, so adjacent replica indices yield uncorrelated
+// seeds.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// Seed derives replica i's seed from the experiment seed. The derivation is
+// a pure function of (seed, i): it does not depend on worker count, chunk
+// size, or scheduling, which is what makes parallel runs reproducible.
+func Seed(seed int64, i int) int64 {
+	return int64(splitmix64(splitmix64(uint64(seed)) + uint64(i)))
+}
+
+// RNG returns replica i's private random source, seeded with Seed(seed, i).
+func RNG(seed int64, i int) *rand.Rand {
+	return rand.New(rand.NewSource(Seed(seed, i)))
+}
+
+// Run executes n replicas of body over a GOMAXPROCS-sized pool and returns
+// their results in replica order. Output is identical to a serial loop
+//
+//	for i := 0; i < n; i++ { out[i] = body(i, RNG(seed, i)) }
+//
+// for every worker count. Panics in a body are re-raised on the caller.
+func Run[R any](n int, seed int64, body Body[R]) []R {
+	out, err := RunOpts(Opts{}, n, seed, body)
+	if err != nil {
+		// Only a context can produce an error, and Opts{} has none.
+		panic("replicate: impossible error without a context: " + err.Error())
+	}
+	return out
+}
+
+// RunOpts is Run with explicit options. It returns the ordered results and,
+// if opts.Context was canceled before all replicas ran, the context's error
+// (alongside the partial results).
+func RunOpts[R any](opts Opts, n int, seed int64, body Body[R]) ([]R, error) {
+	if body == nil {
+		panic("replicate: nil body")
+	}
+	if n <= 0 {
+		return nil, ctxErr(opts.Context)
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	out := make([]R, n)
+
+	if workers == 1 {
+		// Inline serial path: the legacy execution, byte for byte.
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return out, err
+			}
+			out[i] = body(i, RNG(seed, i))
+			if opts.Progress != nil {
+				opts.Progress(i+1, n)
+			}
+		}
+		return out, nil
+	}
+
+	chunk := opts.ChunkSize
+	if chunk <= 0 {
+		// Aim for ~4 chunks per worker so stragglers re-balance, floor 1.
+		chunk = n / (workers * 4)
+		if chunk < 1 {
+			chunk = 1
+		}
+	}
+
+	var (
+		next      atomic.Int64 // next unclaimed replica index
+		done      atomic.Int64 // completed replicas, for progress reporting
+		prog      sync.Mutex   // serializes Progress callbacks
+		wg        sync.WaitGroup
+		panicOnce sync.Once
+		panicked  any
+	)
+	report := func() {
+		if opts.Progress == nil {
+			return
+		}
+		prog.Lock()
+		opts.Progress(int(done.Load()), n)
+		prog.Unlock()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicked = r })
+				}
+			}()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				start := int(next.Add(int64(chunk))) - chunk
+				if start >= n {
+					return
+				}
+				end := start + chunk
+				if end > n {
+					end = n
+				}
+				for i := start; i < end; i++ {
+					out[i] = body(i, RNG(seed, i))
+				}
+				done.Add(int64(end - start))
+				report()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+	return out, ctxErr(ctx)
+}
+
+// ctxErr returns ctx.Err() tolerating a nil context.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
+// Map is a convenience over Run for sweeping a parameter slice: it runs
+// body(i, items[i], rng) for every item, in parallel, preserving order.
+func Map[T, R any](opts Opts, items []T, seed int64, body func(i int, item T, rng *rand.Rand) R) ([]R, error) {
+	return RunOpts(opts, len(items), seed, func(i int, rng *rand.Rand) R {
+		return body(i, items[i], rng)
+	})
+}

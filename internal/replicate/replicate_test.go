@@ -1,0 +1,184 @@
+package replicate
+
+import (
+	"context"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+)
+
+// TestOrderedResults checks that results land in replica order regardless of
+// worker count or chunking.
+func TestOrderedResults(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 33} {
+		for _, chunk := range []int{0, 1, 7} {
+			out, err := RunOpts(Opts{Workers: workers, ChunkSize: chunk}, 100, 42,
+				func(i int, _ *rand.Rand) int { return i * i })
+			if err != nil {
+				t.Fatalf("workers=%d chunk=%d: %v", workers, chunk, err)
+			}
+			if len(out) != 100 {
+				t.Fatalf("workers=%d: got %d results", workers, len(out))
+			}
+			for i, v := range out {
+				if v != i*i {
+					t.Fatalf("workers=%d chunk=%d: out[%d] = %d, want %d", workers, chunk, i, v, i*i)
+				}
+			}
+		}
+	}
+}
+
+// TestDeterministicRNG checks that each replica's random stream is a pure
+// function of (seed, index): identical across worker counts and runs.
+func TestDeterministicRNG(t *testing.T) {
+	draw := func(workers int) []int64 {
+		out, err := RunOpts(Opts{Workers: workers}, 64, 7,
+			func(i int, rng *rand.Rand) int64 { return rng.Int63() })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	serial := draw(1)
+	for _, workers := range []int{2, 4, 8} {
+		par := draw(workers)
+		for i := range serial {
+			if par[i] != serial[i] {
+				t.Fatalf("workers=%d: replica %d drew %d, serial drew %d", workers, i, par[i], serial[i])
+			}
+		}
+	}
+	// And the stream matches the documented derivation.
+	for i := range serial {
+		if want := RNG(7, i).Int63(); serial[i] != want {
+			t.Fatalf("replica %d drew %d, RNG(7,%d) gives %d", i, serial[i], i, want)
+		}
+	}
+}
+
+// TestSeedDerivation checks the SplitMix64 derivation spreads adjacent
+// indices and differing experiment seeds.
+func TestSeedDerivation(t *testing.T) {
+	seen := make(map[int64]int)
+	for i := 0; i < 10000; i++ {
+		s := Seed(1, i)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("Seed(1,%d) == Seed(1,%d) == %d", i, prev, s)
+		}
+		seen[s] = i
+	}
+	if Seed(1, 0) == Seed(2, 0) {
+		t.Error("different experiment seeds map to the same replica seed")
+	}
+	if Seed(1, 5) == 1+5 {
+		t.Error("derivation is the raw sum; wanted a mixed seed")
+	}
+}
+
+// TestContextCancel checks that a canceled context stops the run and is
+// reported.
+func TestContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	_, err := RunOpts(Opts{Workers: 4, ChunkSize: 1, Context: ctx}, 1000, 1,
+		func(i int, _ *rand.Rand) int {
+			if ran.Add(1) == 10 {
+				cancel()
+			}
+			return i
+		})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n >= 1000 {
+		t.Errorf("all %d replicas ran despite cancellation", n)
+	}
+
+	// Pre-canceled context on the serial path.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	out, err := RunOpts(Opts{Workers: 1, Context: ctx2}, 5, 1,
+		func(i int, _ *rand.Rand) int { return 1 })
+	if err != context.Canceled {
+		t.Fatalf("serial err = %v, want context.Canceled", err)
+	}
+	for _, v := range out {
+		if v != 0 {
+			t.Error("replica ran under a pre-canceled context")
+		}
+	}
+}
+
+// TestProgress checks the progress callback reaches n and never decreases.
+func TestProgress(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		last, calls := 0, 0
+		_, err := RunOpts(Opts{
+			Workers: workers, ChunkSize: 3,
+			Progress: func(done, total int) {
+				calls++
+				if total != 50 {
+					t.Fatalf("total = %d, want 50", total)
+				}
+				if done < last {
+					t.Fatalf("progress went backwards: %d after %d", done, last)
+				}
+				last = done
+			},
+		}, 50, 1, func(i int, _ *rand.Rand) int { return i })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if last != 50 {
+			t.Errorf("workers=%d: final progress %d, want 50", workers, last)
+		}
+		if calls == 0 {
+			t.Errorf("workers=%d: progress never called", workers)
+		}
+	}
+}
+
+// TestEdgeCases covers n<=0, workers>n, and the Map helper.
+func TestEdgeCases(t *testing.T) {
+	if out := Run(0, 1, func(i int, _ *rand.Rand) int { return i }); len(out) != 0 {
+		t.Errorf("n=0 returned %d results", len(out))
+	}
+	out, err := RunOpts(Opts{Workers: 16}, 3, 1, func(i int, _ *rand.Rand) int { return i + 1 })
+	if err != nil || len(out) != 3 || out[2] != 3 {
+		t.Errorf("workers>n: out=%v err=%v", out, err)
+	}
+	sq, err := Map(Opts{Workers: 4}, []int{2, 3, 4}, 9,
+		func(i int, item int, _ *rand.Rand) int { return item * item })
+	if err != nil || len(sq) != 3 || sq[0] != 4 || sq[1] != 9 || sq[2] != 16 {
+		t.Errorf("Map: out=%v err=%v", sq, err)
+	}
+}
+
+// TestPanicPropagates checks that a panicking body surfaces on the caller.
+func TestPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("workers=%d: panic did not propagate", workers)
+				}
+			}()
+			Run(20, 1, func(i int, _ *rand.Rand) int {
+				if i == 7 {
+					panic("boom")
+				}
+				return i
+			})
+		}()
+	}
+}
+
+// BenchmarkRunOverhead measures the engine's per-replica overhead with a
+// trivial body (the floor cost of fanning out).
+func BenchmarkRunOverhead(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Run(64, int64(i), func(j int, rng *rand.Rand) int64 { return rng.Int63() })
+	}
+}

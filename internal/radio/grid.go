@@ -61,3 +61,18 @@ func (g *grid) forNear(p geo.Point, fn func(wire.NodeID)) {
 		}
 	}
 }
+
+// appendNear appends every ID in the 3x3 cell block around p to dst and
+// returns it. The allocation-free counterpart of forNear for hot paths that
+// would otherwise pay a closure: candidates come back in the same
+// deterministic cell order forNear uses. Callers still need an exact range
+// check; the grid only prunes.
+func (g *grid) appendNear(dst []wire.NodeID, p geo.Point) []wire.NodeID {
+	c := g.key(p)
+	for dx := int32(-1); dx <= 1; dx++ {
+		for dy := int32(-1); dy <= 1; dy++ {
+			dst = append(dst, g.cells[[2]int32{c[0] + dx, c[1] + dy}]...)
+		}
+	}
+	return dst
+}

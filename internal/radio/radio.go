@@ -95,6 +95,27 @@ type Medium struct {
 
 	energy   map[wire.NodeID]*energyMeter
 	counters stats.Counter
+
+	// tracing is false when sink is the no-op sink, letting the hot paths
+	// skip building event detail strings nobody will read.
+	tracing bool
+	// nearScratch and encScratch are per-medium reusable buffers for the
+	// broadcast fast path. The kernel is single-threaded, and neither
+	// buffer is ever held across a scheduled callback, so plain reuse is
+	// safe.
+	nearScratch []wire.NodeID
+	encScratch  []byte
+}
+
+// kind-tagged counter labels, precomputed so Send/deliver do not
+// concatenate strings per message.
+var txLabel, rxLabel [256]string
+
+func init() {
+	for k := 0; k < 256; k++ {
+		txLabel[k] = "tx:" + wire.Kind(k).String()
+		rxLabel[k] = "rx:" + wire.Kind(k).String()
+	}
 }
 
 // energyMeter tracks one host's spend; available energy is computed lazily
@@ -135,6 +156,8 @@ func New(kernel *sim.Kernel, params Params, opts ...Option) *Medium {
 	for _, opt := range opts {
 		opt(m)
 	}
+	_, nop := m.sink.(trace.Nop)
+	m.tracing = !nop
 	return m
 }
 
@@ -171,19 +194,29 @@ func (m *Medium) UpdatePos(id wire.NodeID, old geo.Point) {
 func (m *Medium) NodeCount() int { return len(m.nodes) }
 
 // Neighbors returns the NIDs of the operational hosts within range of the
-// given point, excluding exclude. The slice is freshly allocated.
+// given point, excluding exclude. The slice is freshly allocated; callers
+// on a hot path should prefer NeighborsAppend with a reused buffer.
 func (m *Medium) Neighbors(at geo.Point, exclude wire.NodeID) []wire.NodeID {
-	var out []wire.NodeID
-	m.grid.forNear(at, func(id wire.NodeID) {
+	return m.NeighborsAppend(nil, at, exclude)
+}
+
+// NeighborsAppend appends the NIDs of the operational hosts within range of
+// the given point (excluding exclude) to dst and returns it. Passing a
+// buffer truncated with dst[:0] makes the query allocation-free once the
+// buffer has grown to the neighborhood size. Order is deterministic (grid
+// cell order), identical to Neighbors.
+func (m *Medium) NeighborsAppend(dst []wire.NodeID, at geo.Point, exclude wire.NodeID) []wire.NodeID {
+	m.nearScratch = m.grid.appendNear(m.nearScratch[:0], at)
+	for _, id := range m.nearScratch {
 		if id == exclude {
-			return
+			continue
 		}
 		r := m.nodes[id]
 		if r.Operational() && at.WithinRange(r.Pos(), m.params.Range) {
-			out = append(out, id)
+			dst = append(dst, id)
 		}
-	})
-	return out
+	}
+	return dst
 }
 
 // SetLinkLoss overrides the loss probability on the directed link from ->
@@ -225,29 +258,35 @@ func (m *Medium) Send(from wire.NodeID, msg wire.Message) {
 	}
 	size := msg.WireSize()
 	m.chargeTx(from, size)
-	m.counters.Inc("tx:"+msg.Kind().String(), 1)
+	m.counters.Inc(txLabel[msg.Kind()], 1)
 	m.counters.Inc("tx-bytes", int64(size))
-	m.sink.Emit(trace.Event{
-		At: m.kernel.Now(), Type: trace.TypeSend, Node: uint32(from),
-		Detail: msg.Kind().String(),
-	})
+	if m.tracing {
+		m.sink.Emit(trace.Event{
+			At: m.kernel.Now(), Type: trace.TypeSend, Node: uint32(from),
+			Detail: msg.Kind().String(),
+		})
+	}
 	if m.silenced[from] {
 		m.counters.Inc("drop:silenced", 1)
 		return
 	}
 
-	// Encode once; each receiver gets an independent decode so no state is
-	// shared between hosts (transmission cannot alias memory).
-	encoded := wire.Encode(msg)
+	// Encode once into a reusable scratch buffer, then give each surviving
+	// receiver an independent decode at scheduling time so no state is
+	// shared between hosts (transmission cannot alias memory) and the
+	// scratch is free again the moment Send returns.
+	m.encScratch = wire.EncodeAppend(m.encScratch[:0], msg)
+	encoded := m.encScratch
 	origin := sender.Pos()
 	rng := m.kernel.Rand()
-	m.grid.forNear(origin, func(id wire.NodeID) {
+	m.nearScratch = m.grid.appendNear(m.nearScratch[:0], origin)
+	for _, id := range m.nearScratch {
 		if id == from {
-			return
+			continue
 		}
 		rcv := m.nodes[id]
 		if !origin.WithinRange(rcv.Pos(), m.params.Range) {
-			return
+			continue
 		}
 		loss := m.params.LossProb
 		if override, ok := m.linkLoss[[2]wire.NodeID{from, id}]; ok {
@@ -255,36 +294,41 @@ func (m *Medium) Send(from wire.NodeID, msg wire.Message) {
 		}
 		if rng.Float64() < loss {
 			m.counters.Inc("drop:loss", 1)
-			m.sink.Emit(trace.Event{
-				At: m.kernel.Now(), Type: trace.TypeDrop, Node: uint32(id),
-				Detail: fmt.Sprintf("%s from %v", msg.Kind(), from),
-			})
-			return
+			if m.tracing {
+				m.sink.Emit(trace.Event{
+					At: m.kernel.Now(), Type: trace.TypeDrop, Node: uint32(id),
+					Detail: fmt.Sprintf("%s from %v", msg.Kind(), from),
+				})
+			}
+			continue
 		}
 		delay := m.params.MinDelay
 		if span := m.params.MaxDelay - m.params.MinDelay; span > 0 {
 			delay += sim.Time(rng.Int63n(int64(span) + 1))
 		}
+		decoded, err := wire.Decode(encoded)
+		if err != nil {
+			// The medium never corrupts messages (paper Section 2.2);
+			// a decode failure is a codec bug.
+			panic(fmt.Sprintf("radio: decode for delivery: %v", err))
+		}
+		id := id
 		m.kernel.Schedule(delay, func() {
 			if !rcv.Operational() {
 				m.counters.Inc("drop:receiver-down", 1)
 				return
 			}
-			decoded, err := wire.Decode(encoded)
-			if err != nil {
-				// The medium never corrupts messages (paper Section 2.2);
-				// a decode failure is a codec bug.
-				panic(fmt.Sprintf("radio: decode on delivery: %v", err))
-			}
 			m.chargeRx(id, size)
-			m.counters.Inc("rx:"+decoded.Kind().String(), 1)
-			m.sink.Emit(trace.Event{
-				At: m.kernel.Now(), Type: trace.TypeDeliver, Node: uint32(id),
-				Detail: fmt.Sprintf("%s from %v", decoded.Kind(), from),
-			})
+			m.counters.Inc(rxLabel[decoded.Kind()], 1)
+			if m.tracing {
+				m.sink.Emit(trace.Event{
+					At: m.kernel.Now(), Type: trace.TypeDeliver, Node: uint32(id),
+					Detail: fmt.Sprintf("%s from %v", decoded.Kind(), from),
+				})
+			}
 			rcv.Deliver(decoded, from)
 		})
-	})
+	}
 }
 
 // chargeTx debits transmission energy.

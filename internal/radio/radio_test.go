@@ -463,3 +463,67 @@ func TestUpdatePos(t *testing.T) {
 	}
 	m.UpdatePos(999, old) // unknown id is a no-op
 }
+
+// TestNeighborsAppendMatchesNeighbors checks the scratch-slice variant
+// returns exactly what Neighbors returns, reuses the caller's buffer, and
+// allocates nothing once the buffer is warm.
+func TestNeighborsAppendMatchesNeighbors(t *testing.T) {
+	k := sim.New(5)
+	m := New(k, Defaults(0))
+	center := geo.Point{X: 0, Y: 0}
+	nodes := make([]*stubNode, 40)
+	for i := range nodes {
+		nodes[i] = &stubNode{id: wire.NodeID(i + 1), pos: geo.UniformInDisk(k.Rand(), center, 150)}
+		m.Attach(nodes[i])
+	}
+	nodes[3].crashed = true
+
+	buf := make([]wire.NodeID, 0, 64)
+	for _, probe := range []geo.Point{center, {X: 80, Y: -40}, {X: 500, Y: 500}} {
+		want := m.Neighbors(probe, 1)
+		buf = m.NeighborsAppend(buf[:0], probe, 1)
+		if len(want) != len(buf) {
+			t.Fatalf("probe %v: Neighbors=%v NeighborsAppend=%v", probe, want, buf)
+		}
+		for i := range want {
+			if want[i] != buf[i] {
+				t.Fatalf("probe %v: order diverges: %v vs %v", probe, want, buf)
+			}
+		}
+	}
+
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = m.NeighborsAppend(buf[:0], center, 1)
+	})
+	if allocs != 0 {
+		t.Errorf("NeighborsAppend with warm buffer allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestSendScratchIsolation checks that reusing the medium's encode scratch
+// across broadcasts cannot corrupt in-flight deliveries: two back-to-back
+// sends of different messages must deliver their own payloads.
+func TestSendScratchIsolation(t *testing.T) {
+	k := sim.New(9)
+	m := New(k, lossless()) // fixed delay: deliveries arrive in send order
+	a := &stubNode{id: 1, pos: geo.Point{X: 0, Y: 0}}
+	b := &stubNode{id: 2, pos: geo.Point{X: 10, Y: 0}}
+	m.Attach(a)
+	m.Attach(b)
+
+	m.Send(1, &wire.Heartbeat{NID: 1, Epoch: 7})
+	m.Send(1, &wire.Digest{NID: 1, CH: 1, Epoch: 7, Heard: []wire.NodeID{1, 2, 3}})
+	k.Run()
+
+	if len(b.received) != 2 {
+		t.Fatalf("delivered %d messages, want 2", len(b.received))
+	}
+	hb, ok := b.received[0].msg.(*wire.Heartbeat)
+	if !ok || hb.NID != 1 || hb.Epoch != 7 {
+		t.Errorf("first delivery corrupted: %+v", b.received[0].msg)
+	}
+	dg, ok := b.received[1].msg.(*wire.Digest)
+	if !ok || dg.NID != 1 || len(dg.Heard) != 3 {
+		t.Errorf("second delivery corrupted: %+v", b.received[1].msg)
+	}
+}

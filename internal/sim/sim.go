@@ -27,12 +27,19 @@ type Handler func()
 // event is a scheduled callback. seq breaks ties so that events scheduled
 // for the same instant fire in scheduling order (FIFO), which keeps runs
 // deterministic.
+//
+// Events are pooled: the kernel keeps a free list and recycles an event
+// once it has fired or its cancellation has been collected. gen counts
+// reuses so that a stale Timer handle (pointing at a recycled event) can
+// detect that its event is gone and stay inert instead of touching the new
+// occupant.
 type event struct {
 	at       Time
 	seq      uint64
 	fn       Handler
 	canceled bool
-	index    int // heap index, maintained by eventQueue
+	index    int    // heap index, maintained by eventQueue
+	gen      uint64 // incremented on every release to the pool
 }
 
 // eventQueue is a min-heap ordered by (at, seq).
@@ -71,14 +78,17 @@ func (q *eventQueue) Pop() any {
 
 // Timer is a handle to a scheduled event that can be canceled. The zero
 // value is an inert timer: Cancel and Active are safe to call on it.
+// The generation stamp keeps a handle inert once its event has fired and
+// been recycled for a later Schedule call.
 type Timer struct {
-	ev *event
+	ev  *event
+	gen uint64
 }
 
 // Cancel prevents the timer's handler from running if it has not fired yet.
 // Canceling an already-fired or already-canceled timer is a no-op.
 func (t Timer) Cancel() {
-	if t.ev != nil {
+	if t.ev != nil && t.ev.gen == t.gen {
 		t.ev.canceled = true
 	}
 }
@@ -86,7 +96,7 @@ func (t Timer) Cancel() {
 // Active reports whether the timer is still pending (scheduled, not fired,
 // not canceled).
 func (t Timer) Active() bool {
-	return t.ev != nil && !t.ev.canceled && t.ev.index >= 0
+	return t.ev != nil && t.ev.gen == t.gen && !t.ev.canceled && t.ev.index >= 0
 }
 
 // Kernel is the discrete-event scheduler. Create one with New; the zero
@@ -98,6 +108,7 @@ type Kernel struct {
 	rng     *rand.Rand
 	stopped bool
 	steps   uint64
+	free    []*event // recycled events (the #1 allocation site otherwise)
 }
 
 // New returns a kernel whose random source is seeded with seed. Two kernels
@@ -133,10 +144,34 @@ func (k *Kernel) Schedule(delay Time, fn Handler) Timer {
 	if delay < 0 {
 		delay = 0
 	}
-	ev := &event{at: k.now + delay, seq: k.seq, fn: fn}
+	ev := k.alloc()
+	ev.at = k.now + delay
+	ev.seq = k.seq
+	ev.fn = fn
 	k.seq++
 	heap.Push(&k.queue, ev)
-	return Timer{ev: ev}
+	return Timer{ev: ev, gen: ev.gen}
+}
+
+// alloc takes an event from the free list, or makes one.
+func (k *Kernel) alloc() *event {
+	if n := len(k.free); n > 0 {
+		ev := k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+// release recycles a popped event. Bumping the generation invalidates every
+// outstanding Timer handle to it; clearing fn drops the handler closure so
+// the pool retains no protocol state.
+func (k *Kernel) release(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.canceled = false
+	k.free = append(k.free, ev)
 }
 
 // At runs fn at the given absolute virtual time, which must not be in the
@@ -158,11 +193,17 @@ func (k *Kernel) step() bool {
 	for len(k.queue) > 0 {
 		ev := heap.Pop(&k.queue).(*event)
 		if ev.canceled {
+			k.release(ev)
 			continue
 		}
 		k.now = ev.at
 		k.steps++
-		ev.fn()
+		fn := ev.fn
+		// Recycle before running: the handler may immediately schedule a
+		// follow-up, which then reuses this slot instead of allocating.
+		// Outstanding Timer handles are invalidated by the generation bump.
+		k.release(ev)
+		fn()
 		return true
 	}
 	return false
@@ -199,7 +240,7 @@ func (k *Kernel) RunUntil(deadline Time) Time {
 func (k *Kernel) peekTime() (Time, bool) {
 	for len(k.queue) > 0 {
 		if k.queue[0].canceled {
-			heap.Pop(&k.queue)
+			k.release(heap.Pop(&k.queue).(*event))
 			continue
 		}
 		return k.queue[0].at, true

@@ -285,3 +285,81 @@ func TestQueueOrderProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestEventPoolStaleHandles checks the free-list recycler: a Timer handle
+// whose event has fired (and been recycled into a NEW event) must stay
+// inert — Cancel on it must not touch the recycled occupant, and Active
+// must report false.
+func TestEventPoolStaleHandles(t *testing.T) {
+	k := New(1)
+	fired := 0
+	tm1 := k.Schedule(1, func() { fired++ })
+	k.Run()
+	if tm1.Active() {
+		t.Error("fired timer still active")
+	}
+	// The pool guarantees this Schedule reuses tm1's event object.
+	tm2 := k.Schedule(1, func() { fired += 10 })
+	tm1.Cancel() // stale handle: must be a no-op
+	if !tm2.Active() {
+		t.Fatal("stale Cancel killed a recycled event")
+	}
+	k.Run()
+	if fired != 11 {
+		t.Errorf("fired = %d, want 11", fired)
+	}
+}
+
+// TestEventPoolCanceledRelease checks canceled events are recycled through
+// both the step() and peekTime() collection paths without disturbing
+// later events.
+func TestEventPoolCanceledRelease(t *testing.T) {
+	k := New(1)
+	ran := 0
+	c1 := k.Schedule(1, func() { ran += 100 })
+	k.Schedule(2, func() { ran++ })
+	c1.Cancel()
+	k.RunUntil(5) // collects the canceled event via peekTime
+	c2 := k.Schedule(1, func() { ran += 100 })
+	k.Schedule(2, func() { ran++ })
+	c2.Cancel()
+	k.Run() // collects via step
+	if ran != 2 {
+		t.Errorf("ran = %d, want 2 (canceled handlers must not fire)", ran)
+	}
+	if c1.Active() || c2.Active() {
+		t.Error("canceled timers report active")
+	}
+}
+
+// TestEventPoolReusePreservesOrder floods the kernel with self-rescheduling
+// chains (the heartbeat pattern) and checks FIFO tie-breaking survives
+// event reuse.
+func TestEventPoolReusePreservesOrder(t *testing.T) {
+	k := New(1)
+	var order []int
+	for i := 0; i < 8; i++ {
+		i := i
+		var tick func()
+		rounds := 0
+		tick = func() {
+			order = append(order, i)
+			rounds++
+			if rounds < 50 {
+				k.Schedule(10, tick)
+			}
+		}
+		k.Schedule(10, tick)
+	}
+	k.Run()
+	if len(order) != 8*50 {
+		t.Fatalf("fired %d events, want %d", len(order), 8*50)
+	}
+	for r := 0; r < 50; r++ {
+		for i := 0; i < 8; i++ {
+			if order[r*8+i] != i {
+				t.Fatalf("round %d: position %d fired chain %d (FIFO broken by pooling)", r, i, order[r*8+i])
+			}
+		}
+	}
+}

@@ -17,10 +17,16 @@ var (
 // Encode serializes m, prefixing the kind byte. The result's length always
 // equals m.WireSize(); a test enforces this for every message type.
 func Encode(m Message) []byte {
-	b := make([]byte, 0, m.WireSize())
+	return EncodeAppend(make([]byte, 0, m.WireSize()), m)
+}
+
+// EncodeAppend appends m's encoding (kind byte plus body) to b and returns
+// the extended slice. Hot paths reuse one buffer across messages with
+// EncodeAppend(buf[:0], m), eliminating the per-message allocation Encode
+// pays; the appended region always spans exactly m.WireSize() bytes.
+func EncodeAppend(b []byte, m Message) []byte {
 	b = append(b, byte(m.Kind()))
-	b = m.append(b)
-	return b
+	return m.append(b)
 }
 
 // Decode parses one message from b. It returns an error if the kind byte is

@@ -250,3 +250,36 @@ func TestAllKindsCovered(t *testing.T) {
 		}
 	}
 }
+
+// TestEncodeAppendReuse checks EncodeAppend matches Encode byte for byte and
+// is allocation-free into a warm buffer.
+func TestEncodeAppendReuse(t *testing.T) {
+	msgs := []Message{
+		&Heartbeat{NID: 3, Epoch: 9},
+		&Digest{NID: 4, CH: 1, Epoch: 9, Heard: []NodeID{1, 2, 3, 4, 5}},
+		&FailureReport{OriginCH: 2, Seq: 1, Epoch: 9, NewFailed: []NodeID{7}, AllFailed: []NodeID{7}, Sender: 2},
+	}
+	buf := make([]byte, 0, 256)
+	for _, m := range msgs {
+		want := Encode(m)
+		buf = EncodeAppend(buf[:0], m)
+		if !bytes.Equal(want, buf) {
+			t.Errorf("%v: EncodeAppend %x != Encode %x", m.Kind(), buf, want)
+		}
+		if len(buf) != m.WireSize() {
+			t.Errorf("%v: appended %d bytes, WireSize %d", m.Kind(), len(buf), m.WireSize())
+		}
+	}
+	// Appending after existing content preserves the prefix.
+	buf = append(buf[:0], 0xAA, 0xBB)
+	buf = EncodeAppend(buf, msgs[0])
+	if buf[0] != 0xAA || buf[1] != 0xBB || !bytes.Equal(buf[2:], Encode(msgs[0])) {
+		t.Error("EncodeAppend disturbed existing buffer content")
+	}
+
+	hb := &Heartbeat{NID: 1, Epoch: 2}
+	allocs := testing.AllocsPerRun(200, func() { buf = EncodeAppend(buf[:0], hb) })
+	if allocs != 0 {
+		t.Errorf("EncodeAppend into warm buffer allocates %.1f/op, want 0", allocs)
+	}
+}

@@ -9,6 +9,7 @@ package clusterfds_test
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 	"time"
 
@@ -92,13 +93,16 @@ func BenchmarkDCHReachability(b *testing.B) {
 // BenchmarkMonteCarloValidation runs protocol-level trials at parameters
 // where the analytic rates are measurable and reports empirical vs analytic.
 // consistency=1 means the prediction falls inside the 95% Wilson interval.
+// Trials run strictly serially (workers=1): this is the baseline the
+// parallel benchmark below is measured against.
 func BenchmarkMonteCarloValidation(b *testing.B) {
 	for _, tc := range []montecarlo.ClusterExperiment{
-		{N: 8, LossProb: 0.5, Seed: 1},
-		{N: 12, LossProb: 0.6, Seed: 2},
+		{N: 8, LossProb: 0.5, Seed: 1, Workers: 1},
+		{N: 12, LossProb: 0.6, Seed: 2, Workers: 1},
 	} {
 		tc := tc
 		b.Run(fmt.Sprintf("N=%d_p=%.1f", tc.N, tc.LossProb), func(b *testing.B) {
+			b.ReportAllocs()
 			tc.Trials = b.N
 			if tc.Trials < 200 {
 				tc.Trials = 200
@@ -115,38 +119,54 @@ func BenchmarkMonteCarloValidation(b *testing.B) {
 	}
 }
 
+// benchMonteCarloFixedWork runs a fixed batch of 400 trials per iteration at
+// the given worker count, so serial and parallel ns/op are directly
+// comparable: speedup = Serial ns/op ÷ Parallel ns/op.
+func benchMonteCarloFixedWork(b *testing.B, workers int) {
+	b.Helper()
+	b.ReportAllocs()
+	e := montecarlo.ClusterExperiment{N: 10, LossProb: 0.5, Trials: 400, Seed: 42, Workers: workers}
+	var last montecarlo.Outcome
+	for i := 0; i < b.N; i++ {
+		last = e.FalseDetection()
+	}
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	b.ReportMetric(float64(workers), "workers")
+	b.ReportMetric(last.Empirical.Estimate(), "empirical")
+}
+
+// BenchmarkMonteCarloValidationSerial is the 1-worker baseline for the
+// speedup comparison (identical statistical output to the parallel run).
+func BenchmarkMonteCarloValidationSerial(b *testing.B) { benchMonteCarloFixedWork(b, 1) }
+
+// BenchmarkMonteCarloValidationParallel fans the same 400 trials over
+// GOMAXPROCS workers via the replication engine. At >=4 cores this must be
+// >=2x faster than BenchmarkMonteCarloValidationSerial while reporting the
+// same empirical value — replicas are independent kernels, so the engine
+// scales nearly linearly.
+func BenchmarkMonteCarloValidationParallel(b *testing.B) { benchMonteCarloFixedWork(b, 0) }
+
 // --- Ext. C: dissemination cost vs baselines (scalability) -------------------
 
-// benchCost runs one crash through a stack and reports message/byte/energy
-// cost and dissemination quality.
+// benchCost runs one crash through a stack per replica — fanned out over
+// the replication engine — and reports message/byte/energy cost and
+// dissemination quality.
 func benchCost(b *testing.B, stack scenario.Stack, nodes int) {
 	b.Helper()
-	var tx, bytes int64
-	var energy, frac float64
-	for i := 0; i < b.N; i++ {
-		w := scenario.Build(scenario.Config{
-			Seed: int64(i + 1), Nodes: nodes, FieldSide: 200 * float64(nodes) / 50,
+	study := scenario.CrashStudy{
+		Config: scenario.Config{
+			Seed: 1, Nodes: nodes, FieldSide: 200 * float64(nodes) / 50,
 			LossProb: 0.1, Stack: stack,
-		})
-		timing := w.Config().Timing
-		victim := w.CrashRandomAt(timing.EpochStart(3)+timing.Interval/2, 1)[0]
-		w.RunEpochs(8)
-		counts := w.MessageCounts()
-		for k, v := range counts {
-			if len(k) > 3 && k[:3] == "tx:" {
-				tx += v
-			}
-		}
-		bytes += counts["tx-bytes"]
-		energy += w.TotalEnergySpent()
-		aware, operational := w.Completeness(victim)
-		frac += float64(aware) / float64(operational)
+		},
+		Crashes: 1, CrashEpoch: 3, Epochs: 8, Trials: b.N,
 	}
-	n := float64(b.N)
-	b.ReportMetric(float64(tx)/n, "tx-msgs/run")
-	b.ReportMetric(float64(bytes)/n, "tx-bytes/run")
-	b.ReportMetric(energy/n, "energy/run")
-	b.ReportMetric(frac/n, "completeness")
+	s := scenario.Summarize(study.Run())
+	b.ReportMetric(s.TxMessages, "tx-msgs/run")
+	b.ReportMetric(s.TxBytes, "tx-bytes/run")
+	b.ReportMetric(s.Energy, "energy/run")
+	b.ReportMetric(s.Completeness.Mean(), "completeness")
 }
 
 // BenchmarkDisseminationClusterFDS measures the paper's system.
@@ -167,24 +187,17 @@ func BenchmarkDisseminationFlood(b *testing.B) { benchCost(b, scenario.StackFloo
 // mechanisms disabled.
 func benchAblation(b *testing.B, mutate func(*scenario.Config)) {
 	b.Helper()
-	var frac float64
-	for i := 0; i < b.N; i++ {
-		cfg := scenario.Config{
-			Seed: int64(i + 1), Nodes: 120, FieldSide: 450, LossProb: 0.35,
-		}
-		if mutate != nil {
-			mutate(&cfg)
-		}
-		w := scenario.Build(cfg)
-		timing := w.Config().Timing
-		victim := w.CrashRandomAt(timing.EpochStart(3)+timing.Interval/2, 1)[0]
-		// Detection happens in epoch 4; sample right after the report
-		// flood, at the end of epoch 4.
-		w.RunEpochs(5)
-		aware, operational := w.Completeness(victim)
-		frac += float64(aware) / float64(operational)
+	cfg := scenario.Config{Seed: 1, Nodes: 120, FieldSide: 450, LossProb: 0.35}
+	if mutate != nil {
+		mutate(&cfg)
 	}
-	b.ReportMetric(frac/float64(b.N), "completeness@flood")
+	// Detection happens in epoch 4; sample right after the report flood,
+	// at the end of epoch 4. Replicas fan out over the replication engine.
+	study := scenario.CrashStudy{
+		Config: cfg, Crashes: 1, CrashEpoch: 3, Epochs: 5, Trials: b.N,
+	}
+	s := scenario.Summarize(study.Run())
+	b.ReportMetric(s.Completeness.Mean(), "completeness@flood")
 }
 
 // BenchmarkInterClusterForwarding quantifies the Section 4.3 mechanisms on
@@ -386,6 +399,7 @@ func BenchmarkFDSEpoch(b *testing.B) {
 	w := scenario.Build(scenario.Config{Seed: 1, Nodes: 300, FieldSide: 800, LossProb: 0.1})
 	w.RunEpochs(3) // formation settles
 	startEvents := w.Kernel.Steps()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		w.RunEpochs(4 + i)
@@ -402,6 +416,7 @@ func BenchmarkCodec(b *testing.B) {
 		heard[i] = wire.NodeID(i + 1)
 	}
 	msg := &wire.Digest{NID: 1, CH: 2, Epoch: 7, Heard: heard}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		enc := wire.Encode(msg)
@@ -409,6 +424,23 @@ func BenchmarkCodec(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkCodecEncodeAppend measures the zero-allocation encode path the
+// radio hot path uses: one reusable buffer across messages.
+func BenchmarkCodecEncodeAppend(b *testing.B) {
+	heard := make([]wire.NodeID, 100)
+	for i := range heard {
+		heard[i] = wire.NodeID(i + 1)
+	}
+	msg := &wire.Digest{NID: 1, CH: 2, Epoch: 7, Heard: heard}
+	buf := make([]byte, 0, msg.WireSize())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = wire.EncodeAppend(buf[:0], msg)
+	}
+	_ = buf
 }
 
 // BenchmarkRadioBroadcast measures medium throughput: one broadcast into a
@@ -427,11 +459,34 @@ func BenchmarkRadioBroadcast(b *testing.B) {
 		m.Attach(hosts[i])
 	}
 	msg := &wire.Heartbeat{NID: 1, Epoch: 1}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.Send(1, msg)
 		k.Run()
 	}
+}
+
+// BenchmarkNeighborsQuery measures the scratch-slice neighborhood query
+// (allocation-free once the buffer is warm) against a 50-neighbor cell.
+func BenchmarkNeighborsQuery(b *testing.B) {
+	k := sim.New(1)
+	m := radio.New(k, radio.Defaults(0.1))
+	center := geo.Point{X: 0, Y: 0}
+	for i := 0; i < 51; i++ {
+		pos := geo.UniformInDisk(k.Rand(), center, 90)
+		if i == 0 {
+			pos = center
+		}
+		m.Attach(&benchReceiver{id: wire.NodeID(i + 1), pos: pos})
+	}
+	buf := make([]wire.NodeID, 0, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = m.NeighborsAppend(buf[:0], center, 1)
+	}
+	_ = buf
 }
 
 // benchReceiver is a no-op radio endpoint for throughput benchmarks.

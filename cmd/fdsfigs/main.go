@@ -17,13 +17,18 @@
 // Usage:
 //
 //	fdsfigs [-fig all|5|6|7|A|B|C] [-format both|tsv|plot] [-trials N] [-seed S]
+//	        [-workers N]
+//
+// The Monte-Carlo figures (A and B) run their replicas on the parallel
+// replication engine; -workers sizes the pool (default GOMAXPROCS, 1 =
+// serial). Output is bit-identical at every worker count.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
+	"runtime"
 	"strings"
 
 	"clusterfds/internal/analysis"
@@ -36,6 +41,8 @@ func main() {
 	format := flag.String("format", "both", "output format: both, tsv, plot")
 	trials := flag.Int("trials", 2000, "Monte-Carlo trials per point (Ext. B)")
 	seed := flag.Int64("seed", 1, "random seed for the Monte-Carlo figures")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
+		"worker pool for the Monte-Carlo figures (results identical at any count)")
 	flag.Parse()
 
 	wantTSV := *format == "both" || *format == "tsv"
@@ -58,9 +65,9 @@ func main() {
 		case "7":
 			analyticFigure(analysis.MeasureIncompleteness, "Figure 7", wantTSV, wantPlot)
 		case "A":
-			dchReachability(*seed, wantTSV, wantPlot)
+			dchReachability(*seed, *workers, wantTSV, wantPlot)
 		case "B":
-			mcValidation(*seed, *trials)
+			mcValidation(*seed, *trials, *workers)
 		case "C":
 			costCurves(wantTSV, wantPlot)
 		default:
@@ -113,8 +120,7 @@ func analyticFigure(m analysis.Measure, title string, wantTSV, wantPlot bool) {
 // dchReachability prints the Ext. A study: the probability that a member
 // out of the deputy's range is still observed through digests, against the
 // CH-DCH distance.
-func dchReachability(seed int64, wantTSV, wantPlot bool) {
-	rng := rand.New(rand.NewSource(seed))
+func dchReachability(seed int64, workers int, wantTSV, wantPlot bool) {
 	ds := []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
 	pops := analysis.PaperPopulations()
 	const p = 0.1
@@ -122,7 +128,9 @@ func dchReachability(seed int64, wantTSV, wantPlot bool) {
 	results := make(map[int][]analysis.Result, len(pops))
 	for _, n := range pops {
 		c := analysis.DCHReach{R: 100, N: n, P: p}
-		results[n] = c.Sweep(rng, ds, 400)
+		// Per-population seed offset keeps the populations' random streams
+		// independent; each sweep parallelizes over the distances.
+		results[n] = c.SweepParallel(seed+int64(n), ds, 400, workers)
 	}
 
 	if wantTSV {
@@ -214,14 +222,14 @@ func costCurves(wantTSV, wantPlot bool) {
 // mcValidation prints the Ext. B comparison: analytic prediction vs the
 // protocol implementation's measured rates, in the regime where rates are
 // measurable.
-func mcValidation(seed int64, trials int) {
+func mcValidation(seed int64, trials, workers int) {
 	fmt.Println("# Ext. B: Monte-Carlo validation (protocol implementation vs formulas)")
 	fmt.Println("measure\tN\tp\tanalytic\tempirical\twilson95lo\twilson95hi\tconsistent")
 	cases := []montecarlo.ClusterExperiment{
-		{N: 8, LossProb: 0.5, Trials: trials, Seed: seed},
-		{N: 8, LossProb: 0.6, Trials: trials, Seed: seed + 1},
-		{N: 12, LossProb: 0.6, Trials: trials, Seed: seed + 2},
-		{N: 15, LossProb: 0.5, Trials: trials, Seed: seed + 3},
+		{N: 8, LossProb: 0.5, Trials: trials, Seed: seed, Workers: workers},
+		{N: 8, LossProb: 0.6, Trials: trials, Seed: seed + 1, Workers: workers},
+		{N: 12, LossProb: 0.6, Trials: trials, Seed: seed + 2, Workers: workers},
+		{N: 15, LossProb: 0.5, Trials: trials, Seed: seed + 3, Workers: workers},
 	}
 	for _, e := range cases {
 		for _, out := range e.AllMeasures() {

@@ -8,14 +8,23 @@
 //
 //	fdsim [-nodes 100] [-field 500] [-p 0.1] [-epochs 12] [-crashes 3]
 //	      [-crash-epoch 4] [-stack cluster|gossip|flood] [-seed 1]
+//	      [-trials 1] [-workers N]
 //	      [-no-peer-forwarding] [-no-bgw] [-no-implicit-acks]
 //	      [-aggregate] [-sleep] [-naive-sleep]
+//
+// With -trials 1 (the default) fdsim runs and reports one simulation
+// exactly as it always has. With -trials T > 1 it fans T independent,
+// deterministically seeded replicas of the same scenario out over -workers
+// cores (default GOMAXPROCS) and prints aggregate statistics; the output is
+// identical for every worker count, and -workers 1 executes the replicas
+// strictly serially on the calling goroutine.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"time"
 
@@ -35,6 +44,9 @@ func main() {
 	crashEpoch := flag.Int("crash-epoch", 4, "epoch at whose midpoint crashes occur")
 	stackName := flag.String("stack", "cluster", "detector stack: cluster, gossip, flood")
 	seed := flag.Int64("seed", 1, "random seed")
+	trials := flag.Int("trials", 1, "independent seeded replicas to run (1 = single legacy run)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
+		"replica worker pool size (1 = serial; results are identical at any count)")
 	noPeerFwd := flag.Bool("no-peer-forwarding", false, "disable intra-cluster peer forwarding")
 	noBGW := flag.Bool("no-bgw", false, "disable backup-gateway assistance")
 	noAcks := flag.Bool("no-implicit-acks", false, "disable implicit-ack retransmission")
@@ -75,6 +87,10 @@ func main() {
 		scfg := sleep.DefaultConfig(cluster.DefaultTiming())
 		scfg.Announce = !*naiveSleep
 		cfg.Sleep = &scfg
+	}
+	if *trials > 1 {
+		runReplicated(cfg, stack, *trials, *workers, *crashes, *crashEpoch, *epochs)
+		return
 	}
 	w := scenario.Build(cfg)
 	timing := w.Config().Timing
@@ -152,4 +168,41 @@ func main() {
 			}
 		}
 	}
+}
+
+// runReplicated fans trials independent replicas of the scenario out over
+// the replication engine and prints aggregate statistics. Replica seeds are
+// derived deterministically from cfg.Seed, so the printed numbers are a
+// pure function of the flags — never of the worker count.
+func runReplicated(cfg scenario.Config, stack scenario.Stack, trials, workers, crashes, crashEpoch, epochs int) {
+	if crashEpoch < 0 {
+		crashEpoch = 0
+	}
+	study := scenario.CrashStudy{
+		Config:     cfg,
+		Crashes:    crashes,
+		CrashEpoch: crashEpoch,
+		Epochs:     epochs,
+		Trials:     trials,
+		Workers:    workers,
+	}
+	start := time.Now()
+	outcomes := study.Run()
+	elapsed := time.Since(start)
+	s := scenario.Summarize(outcomes)
+
+	fmt.Printf("fdsim: stack=%v nodes=%d field=%.0fm p=%.2f epochs=%d seed=%d trials=%d workers=%d\n",
+		stack, cfg.Nodes, cfg.FieldSide, cfg.LossProb, epochs, cfg.Seed, trials, workers)
+	fmt.Printf("wall clock: %v (%.1f replicas/s)\n\n", elapsed.Round(time.Millisecond),
+		float64(trials)/elapsed.Seconds())
+	fmt.Printf("completeness: mean %.4f min %.4f max %.4f\n",
+		s.Completeness.Mean(), s.Completeness.Min(), s.Completeness.Max())
+	if s.LatencySeconds.N() > 0 {
+		fmt.Printf("detection latency (s): mean %.2f p95 %.2f max %.2f (%d observations)\n",
+			s.LatencySeconds.Mean(), s.LatencySeconds.Percentile(0.95),
+			s.LatencySeconds.Max(), s.LatencySeconds.N())
+	}
+	fmt.Printf("false suspicions: %d across %d replicas\n", s.FalseSuspicions, s.Trials)
+	fmt.Printf("per-replica means: %.0f tx msgs, %.0f tx bytes, %.0f energy units\n",
+		s.TxMessages, s.TxBytes, s.Energy)
 }

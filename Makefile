@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: check vet build test race benchsmoke bench fmt
+
+## check: the pre-PR gate. Run this before sending any change for review.
+check: vet build test race benchsmoke
+	@echo "check: all gates passed"
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+## race: the concurrency-sensitive packages (the replication engine and
+## everything ported onto it) under the race detector.
+race:
+	$(GO) test -race ./internal/replicate/ ./internal/montecarlo/
+
+## benchsmoke: one iteration of the serial/parallel Monte-Carlo benchmark
+## pair — verifies the parallel path produces the same empirical rate and
+## that the benchmarks still compile and run.
+benchsmoke:
+	$(GO) test -run '^$$' -bench 'MonteCarlo' -benchtime 1x -benchmem .
+
+## bench: the full evaluation harness (slow; regenerates every figure).
+bench:
+	$(GO) test -bench=. -benchmem .
+
+fmt:
+	gofmt -l -w .

@@ -17,11 +17,16 @@
 // Usage:
 //
 //	fdsfigs [-fig all|5|6|7|A|B|C] [-format both|tsv|plot] [-trials N] [-seed S]
-//	        [-workers N]
+//	        [-workers N] [-metrics out.json] [-metrics-csv out.csv]
 //
 // The Monte-Carlo figures (A and B) run their replicas on the parallel
 // replication engine; -workers sizes the pool (default GOMAXPROCS, 1 =
 // serial). Output is bit-identical at every worker count.
+//
+// -metrics / -metrics-csv attach per-trial registries to the Ext. B
+// validation runs and export the snapshots — merged in case order, then
+// measure order, then trial order — as deterministic JSON/CSV (schema in
+// EXPERIMENTS.md). The flags only take effect when figure B runs.
 package main
 
 import (
@@ -32,6 +37,7 @@ import (
 	"strings"
 
 	"clusterfds/internal/analysis"
+	"clusterfds/internal/metrics"
 	"clusterfds/internal/montecarlo"
 	"clusterfds/internal/textplot"
 )
@@ -43,6 +49,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed for the Monte-Carlo figures")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
 		"worker pool for the Monte-Carlo figures (results identical at any count)")
+	metricsJSON := flag.String("metrics", "", "write Ext. B's merged metrics snapshot as JSON to this file")
+	metricsCSV := flag.String("metrics-csv", "", "write Ext. B's merged metrics snapshot as CSV to this file")
 	flag.Parse()
 
 	wantTSV := *format == "both" || *format == "tsv"
@@ -67,7 +75,7 @@ func main() {
 		case "A":
 			dchReachability(*seed, *workers, wantTSV, wantPlot)
 		case "B":
-			mcValidation(*seed, *trials, *workers)
+			mcValidation(*seed, *trials, *workers, *metricsJSON, *metricsCSV)
 		case "C":
 			costCurves(wantTSV, wantPlot)
 		default:
@@ -221,8 +229,10 @@ func costCurves(wantTSV, wantPlot bool) {
 
 // mcValidation prints the Ext. B comparison: analytic prediction vs the
 // protocol implementation's measured rates, in the regime where rates are
-// measurable.
-func mcValidation(seed int64, trials, workers int) {
+// measurable. With metrics export paths set, every trial carries a registry
+// and the merged snapshot is written after the table.
+func mcValidation(seed int64, trials, workers int, metricsJSON, metricsCSV string) {
+	collect := metricsJSON != "" || metricsCSV != ""
 	fmt.Println("# Ext. B: Monte-Carlo validation (protocol implementation vs formulas)")
 	fmt.Println("measure\tN\tp\tanalytic\tempirical\twilson95lo\twilson95hi\tconsistent")
 	cases := []montecarlo.ClusterExperiment{
@@ -231,13 +241,43 @@ func mcValidation(seed int64, trials, workers int) {
 		{N: 12, LossProb: 0.6, Trials: trials, Seed: seed + 2, Workers: workers},
 		{N: 15, LossProb: 0.5, Trials: trials, Seed: seed + 3, Workers: workers},
 	}
+	var merged metrics.Snapshot
 	for _, e := range cases {
+		e.CollectMetrics = collect
 		for _, out := range e.AllMeasures() {
 			lo, hi := out.Empirical.Wilson(1.96)
 			fmt.Printf("%s\t%d\t%.2f\t%.4e\t%.4e\t%.4e\t%.4e\t%v\n",
 				out.Name, e.N, e.LossProb, out.Analytic,
 				out.Empirical.Estimate(), lo, hi, out.Consistent(1.96))
+			merged.Merge(out.Metrics)
 		}
 	}
 	fmt.Println()
+	if collect {
+		exportMetrics(merged, metricsJSON, metricsCSV)
+	}
+}
+
+// exportMetrics writes the snapshot to the requested JSON/CSV files (empty
+// path = skip). Both exports are deterministic byte-for-byte.
+func exportMetrics(s metrics.Snapshot, jsonPath, csvPath string) {
+	write := func(path, format string, fn func(*os.File) error) {
+		if path == "" {
+			return
+		}
+		f, err := os.Create(path)
+		if err == nil {
+			err = fn(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fdsfigs: writing %s metrics: %v\n", format, err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics (%s) written to %s\n", format, path)
+	}
+	write(jsonPath, "json", func(f *os.File) error { return s.WriteJSON(f) })
+	write(csvPath, "csv", func(f *os.File) error { return s.WriteCSV(f) })
 }

@@ -9,6 +9,7 @@
 //	fdsim [-nodes 100] [-field 500] [-p 0.1] [-epochs 12] [-crashes 3]
 //	      [-crash-epoch 4] [-stack cluster|gossip|flood] [-seed 1]
 //	      [-trials 1] [-workers N]
+//	      [-metrics out.json] [-metrics-csv out.csv]
 //	      [-no-peer-forwarding] [-no-bgw] [-no-implicit-acks]
 //	      [-aggregate] [-sleep] [-naive-sleep]
 //
@@ -18,6 +19,12 @@
 // cores (default GOMAXPROCS) and prints aggregate statistics; the output is
 // identical for every worker count, and -workers 1 executes the replicas
 // strictly serially on the calling goroutine.
+//
+// -metrics and -metrics-csv export the run's full metrics snapshot — per-kind
+// message counters, per-epoch event series, latency histograms, summary
+// gauges — as deterministic JSON/CSV (see EXPERIMENTS.md for the schema).
+// With -trials T > 1 the exported snapshot is the merge of all replicas in
+// replica order, byte-identical at every -workers value.
 package main
 
 import (
@@ -29,6 +36,7 @@ import (
 	"time"
 
 	"clusterfds/internal/cluster"
+	"clusterfds/internal/metrics"
 	"clusterfds/internal/scenario"
 	"clusterfds/internal/sleep"
 	"clusterfds/internal/stats"
@@ -50,6 +58,8 @@ func main() {
 	noPeerFwd := flag.Bool("no-peer-forwarding", false, "disable intra-cluster peer forwarding")
 	noBGW := flag.Bool("no-bgw", false, "disable backup-gateway assistance")
 	noAcks := flag.Bool("no-implicit-acks", false, "disable implicit-ack retransmission")
+	metricsJSON := flag.String("metrics", "", "write the metrics snapshot as JSON to this file")
+	metricsCSV := flag.String("metrics-csv", "", "write the metrics snapshot as CSV to this file")
 	withAgg := flag.Bool("aggregate", false, "attach the in-network aggregation service")
 	withSleep := flag.Bool("sleep", false, "attach announced radio duty cycling")
 	naiveSleep := flag.Bool("naive-sleep", false, "duty cycling WITHOUT sleep notices (the paper's hazard)")
@@ -89,7 +99,8 @@ func main() {
 		cfg.Sleep = &scfg
 	}
 	if *trials > 1 {
-		runReplicated(cfg, stack, *trials, *workers, *crashes, *crashEpoch, *epochs)
+		runReplicated(cfg, stack, *trials, *workers, *crashes, *crashEpoch, *epochs,
+			*metricsJSON, *metricsCSV)
 		return
 	}
 	w := scenario.Build(cfg)
@@ -168,13 +179,39 @@ func main() {
 			}
 		}
 	}
+
+	exportMetrics(w.MetricsSnapshot(), *metricsJSON, *metricsCSV)
+}
+
+// exportMetrics writes the snapshot to the requested JSON/CSV files (empty
+// path = skip). Both exports are deterministic byte-for-byte.
+func exportMetrics(s metrics.Snapshot, jsonPath, csvPath string) {
+	write := func(path, format string, fn func(*os.File) error) {
+		if path == "" {
+			return
+		}
+		f, err := os.Create(path)
+		if err == nil {
+			err = fn(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fdsim: writing %s metrics: %v\n", format, err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics (%s) written to %s\n", format, path)
+	}
+	write(jsonPath, "json", func(f *os.File) error { return s.WriteJSON(f) })
+	write(csvPath, "csv", func(f *os.File) error { return s.WriteCSV(f) })
 }
 
 // runReplicated fans trials independent replicas of the scenario out over
 // the replication engine and prints aggregate statistics. Replica seeds are
 // derived deterministically from cfg.Seed, so the printed numbers are a
 // pure function of the flags — never of the worker count.
-func runReplicated(cfg scenario.Config, stack scenario.Stack, trials, workers, crashes, crashEpoch, epochs int) {
+func runReplicated(cfg scenario.Config, stack scenario.Stack, trials, workers, crashes, crashEpoch, epochs int, metricsJSON, metricsCSV string) {
 	if crashEpoch < 0 {
 		crashEpoch = 0
 	}
@@ -205,4 +242,5 @@ func runReplicated(cfg scenario.Config, stack scenario.Stack, trials, workers, c
 	fmt.Printf("false suspicions: %d across %d replicas\n", s.FalseSuspicions, s.Trials)
 	fmt.Printf("per-replica means: %.0f tx msgs, %.0f tx bytes, %.0f energy units\n",
 		s.TxMessages, s.TxBytes, s.Energy)
+	exportMetrics(s.Metrics, metricsJSON, metricsCSV)
 }

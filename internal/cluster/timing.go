@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"math"
 	"time"
 
 	"clusterfds/internal/sim"
@@ -44,8 +45,17 @@ func (t Timing) Valid() bool {
 	return t.Thop > 0 && t.Interval >= 8*t.Thop
 }
 
-// EpochStart returns the virtual time at which epoch e begins.
+// EpochStart returns the virtual time at which epoch e begins. The product
+// saturates at the maximum representable instant instead of overflowing:
+// uint64(Interval)*uint64(e) wraps for astronomically large epochs, and the
+// wrapped value — reinterpreted as a signed sim.Time — could go negative,
+// turning "schedule the far future" into "schedule immediately" (a scheduler
+// spin). Saturated instants stay monotone and unreachable, which is what
+// every caller wants from an epoch that can never arrive.
 func (t Timing) EpochStart(e wire.Epoch) sim.Time {
+	if e != 0 && uint64(e) > uint64(math.MaxInt64)/uint64(t.Interval) {
+		return sim.Time(math.MaxInt64)
+	}
 	return sim.Time(uint64(t.Interval) * uint64(e))
 }
 

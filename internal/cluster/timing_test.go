@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"clusterfds/internal/sim"
+	"clusterfds/internal/wire"
+)
+
+func TestTimingRoundOffsets(t *testing.T) {
+	tm := DefaultTiming()
+	if !tm.Valid() {
+		t.Fatal("default timing invalid")
+	}
+	if tm.R1End() != tm.Thop || tm.R2End() != 2*tm.Thop || tm.R3End() != 3*tm.Thop {
+		t.Errorf("round offsets wrong: %v %v %v", tm.R1End(), tm.R2End(), tm.R3End())
+	}
+}
+
+func TestEpochRoundTrip(t *testing.T) {
+	tm := DefaultTiming()
+	for _, e := range []wire.Epoch{0, 1, 2, 17, 1000, 1 << 29} {
+		if got := tm.EpochOf(tm.EpochStart(e)); got != e {
+			t.Errorf("EpochOf(EpochStart(%d)) = %d", e, got)
+		}
+		// Any instant strictly inside the epoch maps back to it too.
+		if got := tm.EpochOf(tm.EpochStart(e) + tm.Interval - 1); got != e {
+			t.Errorf("EpochOf(end of %d) = %d", e, got)
+		}
+	}
+	if tm.EpochOf(-5) != 0 {
+		t.Error("negative instants must clamp to epoch 0")
+	}
+}
+
+// TestEpochStartOverflowSaturates is the regression test for the unguarded
+// uint64(Interval)*uint64(e) product: with Interval = 10s (1e10 ns), epochs
+// beyond ~9.2e8 overflowed int64 and came back NEGATIVE, so a protocol
+// scheduling "the next epoch" at a saturated epoch number asked the kernel
+// for an instant in the past — an immediate-fire busy loop. The guarded
+// product must stay non-negative, monotone, and pinned at the ceiling.
+func TestEpochStartOverflowSaturates(t *testing.T) {
+	tm := DefaultTiming()
+	// Just below the overflow threshold: exact arithmetic.
+	safe := wire.Epoch(uint64(math.MaxInt64) / uint64(tm.Interval))
+	if got := tm.EpochStart(safe); got < 0 || got != sim.Time(uint64(tm.Interval)*uint64(safe)) {
+		t.Errorf("EpochStart(%d) = %v, want exact non-negative product", safe, got)
+	}
+	// At and beyond the threshold: saturate, never wrap.
+	for _, e := range []wire.Epoch{safe + 1, 3_000_000_000, math.MaxUint64} {
+		got := tm.EpochStart(e)
+		if got < 0 {
+			t.Fatalf("EpochStart(%d) = %v, went negative (pre-fix overflow)", e, got)
+		}
+		if got != sim.Time(math.MaxInt64) {
+			t.Errorf("EpochStart(%d) = %v, want saturation at MaxInt64", e, got)
+		}
+	}
+	// Monotone across the boundary.
+	if tm.EpochStart(safe) > tm.EpochStart(safe+1) {
+		t.Error("EpochStart not monotone across the saturation boundary")
+	}
+}
+
+func TestEpochStartSmallIntervalNoFalseSaturation(t *testing.T) {
+	tm := Timing{Thop: sim.Time(time.Millisecond), Interval: sim.Time(8 * time.Millisecond)}
+	if !tm.Valid() {
+		t.Fatal("timing should be valid")
+	}
+	if got := tm.EpochStart(1 << 40); got != sim.Time(uint64(tm.Interval))*(1<<40) {
+		t.Errorf("EpochStart(2^40) = %v, spuriously saturated", got)
+	}
+}

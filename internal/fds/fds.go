@@ -35,6 +35,7 @@ import (
 
 	"clusterfds/internal/cluster"
 	"clusterfds/internal/membership"
+	"clusterfds/internal/metrics"
 	"clusterfds/internal/node"
 	"clusterfds/internal/sim"
 	"clusterfds/internal/trace"
@@ -76,6 +77,12 @@ type Config struct {
 	// ReferenceEnergy scales the energy-aware forwarding backoff: peers
 	// with more remaining energy than this wait less.
 	ReferenceEnergy float64
+	// Metrics, when non-nil, receives the protocol's per-epoch event series
+	// (detections, false detections, rescissions, peer-forward traffic,
+	// orphan events) and the update-delivery latency histogram. Instrument
+	// handles are resolved once at construction; a nil registry costs
+	// nothing on the hot path (nil handles are no-op instruments).
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig returns the configuration used by the experiments.
@@ -140,7 +147,24 @@ type Protocol struct {
 	// their declared wake epoch (Section 6: reducing sleep-mode-caused
 	// false detections). See package sleep.
 	sleepUntil map[wire.NodeID]wire.Epoch
+
+	// Metric handles, resolved once in New. All are valid no-op
+	// instruments when cfg.Metrics is nil. The series count per-host
+	// events bucketed by epoch: a failure detected by k independent hosts
+	// counts k times (the paper's message-count analysis is per-host too).
+	mDetect  *metrics.Series    // detections (detectAndAnnounce, CH takeover, orphan takeover)
+	mFalse   *metrics.Series    // false detections observed (conflicts, self-listed)
+	mRescind *metrics.Series    // fail-stop rescues: suspicions withdrawn on heartbeat
+	mFwdReq  *metrics.Series    // forwarding requests broadcast
+	mFwdAns  *metrics.Series    // forwarded updates actually transmitted
+	mOrphan  *metrics.Series    // orphan events (takeover or demotion after silence)
+	mUpdLat  *metrics.Histogram // update-delivery latency beyond R2End, seconds
 }
+
+// updateLatencyBounds are the upper bucket edges, in seconds, for the
+// update-delivery latency histogram: R-3 direct delivery lands well under
+// Thop (20ms default); peer forwarding adds whole slot multiples.
+var updateLatencyBounds = []float64{0.02, 0.05, 0.1, 0.2, 0.5, 1, 2, 5}
 
 // New returns an FDS bound to the given co-resident cluster protocol.
 func New(cfg Config, cl *cluster.Protocol) *Protocol {
@@ -156,6 +180,7 @@ func New(cfg Config, cl *cluster.Protocol) *Protocol {
 	if cfg.ReferenceEnergy <= 0 {
 		cfg.ReferenceEnergy = 1
 	}
+	r := cfg.Metrics // nil registry yields nil (no-op) handles
 	return &Protocol{
 		cfg:           cfg,
 		cluster:       cl,
@@ -164,15 +189,27 @@ func New(cfg Config, cl *cluster.Protocol) *Protocol {
 		aliveInDigest: make(map[wire.NodeID]bool),
 		forwardTimers: make(map[wire.NodeID]sim.Timer),
 		sleepUntil:    make(map[wire.NodeID]wire.Epoch),
+		mDetect:       r.Series("detections"),
+		mFalse:        r.Series("false-detections"),
+		mRescind:      r.Series("rescissions"),
+		mFwdReq:       r.Series("forward-requests"),
+		mFwdAns:       r.Series("forward-answers"),
+		mOrphan:       r.Series("orphan-events"),
+		mUpdLat:       r.Histogram("update-delivery-s", updateLatencyBounds),
 	}
 }
 
 // Start implements node.Protocol: it enters the epoch loop at the next
-// epoch boundary.
+// epoch boundary — the current epoch if the host boots exactly on its
+// start, the following one otherwise.
 func (p *Protocol) Start(h *node.Host) {
 	p.host = h
 	e := p.cfg.Timing.EpochOf(h.Now())
-	if h.Now() > p.cfg.Timing.EpochStart(e) {
+	// EpochOf floors, so EpochStart(e) <= Now() whenever the product does
+	// not saturate; comparing for exact equality (rather than ordering)
+	// keeps the boundary decision correct even when EpochStart is pinned
+	// at its saturation ceiling for astronomically late boots.
+	if h.Now() != p.cfg.Timing.EpochStart(e) {
 		e++
 	}
 	p.scheduleEpoch(e)
@@ -258,6 +295,8 @@ func (p *Protocol) finishEpoch() {
 		// the cluster dissolve without a trace.
 		p.view.MarkFailed(ch, p.epoch, p.host.Now())
 		p.host.Trace(trace.TypeDetect, ch.String())
+		p.mDetect.Add(uint64(p.epoch), 1)
+		p.mOrphan.Add(uint64(p.epoch), 1)
 		p.cluster.TakeOver()
 		p.host.Send(&wire.HealthUpdate{
 			From:      p.host.ID(),
@@ -269,6 +308,7 @@ func (p *Protocol) finishEpoch() {
 		})
 		return
 	}
+	p.mOrphan.Add(uint64(p.epoch), 1)
 	p.cluster.Demote()
 	p.host.Trace(trace.TypeViewUpdate, "orphaned: re-entering formation")
 }
@@ -349,6 +389,7 @@ func (p *Protocol) detectAndAnnounce(e wire.Epoch) {
 		p.view.MarkFailed(v, e, p.host.Now())
 		p.host.Trace(trace.TypeDetect, v.String())
 	}
+	p.mDetect.Add(uint64(e), int64(len(newFailed)))
 	if len(newFailed) > 0 {
 		p.cluster.NoteFailed(newFailed)
 	}
@@ -386,6 +427,7 @@ func (p *Protocol) checkCHFailure(e wire.Epoch) {
 	// The CH is judged failed: take over and broadcast the update.
 	p.view.MarkFailed(ch, e, p.host.Now())
 	p.host.Trace(trace.TypeDetect, ch.String())
+	p.mDetect.Add(uint64(e), 1)
 	p.cluster.TakeOver()
 	p.snapshot = p.cluster.View()
 	p.updateReceived = true // we originated this epoch's update
@@ -407,6 +449,7 @@ func (p *Protocol) maybeRequestForward(e wire.Epoch) {
 	if p.updateReceived {
 		return
 	}
+	p.mFwdReq.Add(uint64(e), 1)
 	p.host.Send(&wire.ForwardRequest{NID: p.host.ID(), Epoch: e})
 }
 
@@ -463,11 +506,22 @@ func (p *Protocol) onHeartbeat(m *wire.Heartbeat) {
 	if m.Epoch != p.epoch {
 		return
 	}
-	p.heardHB[m.NID] = true
+	// R-1 evidence is only collected by epoch participants, matching
+	// onDigest's gate: a host that booted mid-epoch (active=false until the
+	// next boundary) must not accumulate heartbeat evidence for an epoch it
+	// never entered — finishEpoch and lowestSurvivingMember read heardHB
+	// for the epoch that just ended, and pre-boundary strays would skew
+	// them. (Before this gate, onHeartbeat recorded unconditionally while
+	// onDigest required p.active — an inconsistency, not a design.)
+	if p.active {
+		p.heardHB[m.NID] = true
+	}
 	// Fail-stop rescue: any heartbeat from a host this node believed
 	// failed proves the belief was a false detection (crashed hosts never
 	// transmit). Forget the suspicion; if we are the CH, the sender's
-	// unmarked heartbeat re-admits it through the subscription path.
+	// unmarked heartbeat re-admits it through the subscription path. The
+	// rescue is deliberately NOT gated on p.active: stale failure beliefs
+	// deserve correction whether or not this host participates this epoch.
 	if rec, failed := p.view.Record(m.NID); failed {
 		p.view.Forget(m.NID)
 		if p.snapshot.IsCH {
@@ -477,6 +531,7 @@ func (p *Protocol) onHeartbeat(m *wire.Heartbeat) {
 					wire.Rescission{Node: m.NID, Epoch: rec.Epoch})
 			}
 		}
+		p.mRescind.Add(uint64(p.epoch), 1)
 		p.host.Trace(trace.TypeViewUpdate, fmt.Sprintf("rescind %v", m.NID))
 	}
 }
@@ -507,6 +562,7 @@ func (p *Protocol) onHealthUpdate(m *wire.HealthUpdate, forwarded bool) {
 		// Conflicting reports: a deputy falsely judged this operational CH
 		// failed and announced a takeover. Reassert leadership.
 		p.conflictSeen++
+		p.mFalse.Add(uint64(m.Epoch), 1)
 		p.cluster.NoteNewCH(p.host.ID(), p.host.ID())
 		p.host.Trace(trace.TypeFalseDetect, fmt.Sprintf("takeover by %v while alive", m.From))
 		return
@@ -515,6 +571,13 @@ func (p *Protocol) onHealthUpdate(m *wire.HealthUpdate, forwarded bool) {
 		if m.Epoch == p.epoch && !p.updateReceived {
 			p.updateReceived = true
 			p.update = m
+			// Delivery latency: how long past the start of fds.R-3 (the
+			// earliest instant the CH could have broadcast) the update took
+			// to arrive, whether directly or via peer forwarding.
+			start := p.cfg.Timing.EpochStart(p.epoch) + p.cfg.Timing.R2End()
+			if now := p.host.Now(); now >= start {
+				p.mUpdLat.Observe((now - start).Seconds())
+			}
 		}
 		if m.Takeover {
 			p.cluster.NoteNewCH(m.CH, m.From)
@@ -540,6 +603,7 @@ func (p *Protocol) onHealthUpdate(m *wire.HealthUpdate, forwarded bool) {
 		// us abandoning our cluster.
 		p.view.Forget(p.host.ID())
 		if mine {
+			p.mFalse.Add(uint64(m.Epoch), 1)
 			p.cluster.Demote()
 			p.active = false
 			p.host.Trace(trace.TypeFalseDetect, "self listed as failed")
@@ -571,7 +635,17 @@ func (p *Protocol) onForwardRequest(m *wire.ForwardRequest) {
 	}
 	wait := p.forwardWait()
 	upd := *p.update
+	e := p.epoch
 	p.forwardTimers[requester] = p.host.After(wait, func() {
+		// The timer has fired; drop its map entry immediately. Leaving it
+		// in place (the pre-fix behavior) pinned one stale Timer handle per
+		// requester served until the next epoch's cancelForwardTimers
+		// sweep: the handle points at a recycled pooled-event slot (only
+		// the generation check keeps the dangling Cancel harmless), and
+		// the map's size stopped reflecting the pending-forward count.
+		// Fired timers must leave the lifecycle map at once.
+		delete(p.forwardTimers, requester)
+		p.mFwdAns.Add(uint64(e), 1)
 		p.host.Trace(trace.TypePeerForward, requester.String())
 		p.host.Send(&wire.ForwardedUpdate{
 			Forwarder: p.host.ID(),

@@ -1,0 +1,231 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("tx")
+	c.Add(3)
+	c.Inc()
+	if c.Value() != 4 {
+		t.Errorf("counter = %d, want 4", c.Value())
+	}
+	if r.Counter("tx") != c {
+		t.Error("Counter not idempotent")
+	}
+	g := r.Gauge("level")
+	g.Set(2.5)
+	g.Set(7)
+	if g.Value() != 7 {
+		t.Errorf("gauge = %v, want 7 (last write wins)", g.Value())
+	}
+}
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	c.Add(1)
+	c.Inc()
+	if c.Value() != 0 {
+		t.Error("nil counter recorded")
+	}
+	g := r.Gauge("x")
+	g.Set(1)
+	if g.Value() != 0 {
+		t.Error("nil gauge recorded")
+	}
+	h := r.Histogram("x", []float64{1})
+	h.Observe(0.5)
+	if h.Count() != 0 {
+		t.Error("nil histogram recorded")
+	}
+	s := r.Series("x")
+	s.Add(3, 1)
+	if s.Total() != 0 || s.Len() != 0 {
+		t.Error("nil series recorded")
+	}
+	if !r.Snapshot().Equal(Snapshot{}) {
+		t.Error("nil registry snapshot not empty")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1, 1.5, 4, 100} {
+		h.Observe(v)
+	}
+	snap := r.Snapshot().Histograms["lat"]
+	want := []int64{2, 1, 1, 1} // le:1 ×2 (0.5 and the inclusive 1), le:2, le:5, +Inf
+	for i, w := range want {
+		if snap.Buckets[i] != w {
+			t.Errorf("bucket %d = %d, want %d (%v)", i, snap.Buckets[i], w, snap.Buckets)
+		}
+	}
+	if snap.Count != 5 || snap.Min != 0.5 || snap.Max != 100 || snap.Sum != 107 {
+		t.Errorf("summary wrong: %+v", snap)
+	}
+}
+
+func TestHistogramBoundsValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-ascending bounds did not panic")
+		}
+	}()
+	NewRegistry().Histogram("bad", []float64{1, 1})
+}
+
+func TestSeriesGrowthAndOverflow(t *testing.T) {
+	r := NewRegistry()
+	s := r.Series("detect")
+	s.Add(2, 1)
+	s.Add(0, 5)
+	s.Add(2, 1)
+	if s.Len() != 3 || s.Value(0) != 5 || s.Value(1) != 0 || s.Value(2) != 2 {
+		t.Errorf("series wrong: len=%d values=%v %v %v", s.Len(), s.Value(0), s.Value(1), s.Value(2))
+	}
+	// A saturated epoch (e.g. from guarded EpochStart arithmetic) must not
+	// allocate a gigantic vector.
+	s.Add(1<<40, 7)
+	if s.Len() != 3 {
+		t.Errorf("overflow epoch grew the series to %d", s.Len())
+	}
+	if s.Total() != 14 { // 5 + 2 + 7 dropped
+		t.Errorf("Total = %d, want 14", s.Total())
+	}
+	snap := r.Snapshot().Series["detect"]
+	if snap.Dropped != 7 {
+		t.Errorf("Dropped = %d, want 7", snap.Dropped)
+	}
+}
+
+func buildSnapshot(seed int64) Snapshot {
+	r := NewRegistry()
+	r.Counter("tx:heartbeat").Add(10 + seed)
+	r.Counter("rx:digest").Add(20)
+	r.Gauge("operational").Set(float64(40 + seed))
+	h := r.Histogram("latency-s", []float64{0.5, 1, 2})
+	h.Observe(0.3)
+	h.Observe(float64(seed) + 0.6)
+	s := r.Series("detections")
+	s.Add(1, 2)
+	s.Add(uint64(2+seed), 1)
+	return r.Snapshot()
+}
+
+func TestMergeRules(t *testing.T) {
+	a := buildSnapshot(0)
+	b := buildSnapshot(3)
+	var m Snapshot
+	m.Merge(a)
+	m.Merge(b)
+
+	if m.Counters["tx:heartbeat"] != 23 {
+		t.Errorf("merged counter = %d, want 23", m.Counters["tx:heartbeat"])
+	}
+	if m.Gauges["operational"] != 83 {
+		t.Errorf("merged gauge = %v, want 83 (sum)", m.Gauges["operational"])
+	}
+	h := m.Histograms["latency-s"]
+	if h.Count != 4 || h.Min != 0.3 || h.Max != 3.6 {
+		t.Errorf("merged histogram wrong: %+v", h)
+	}
+	sr := m.Series["detections"]
+	if len(sr.Epochs) != 6 || sr.Epochs[1] != 4 || sr.Epochs[2] != 1 || sr.Epochs[5] != 1 {
+		t.Errorf("merged series wrong: %v", sr.Epochs)
+	}
+}
+
+func TestMergeOrderIndependentForCommutativeData(t *testing.T) {
+	// The per-instrument rules are associative AND commutative for integer
+	// data, so two orders agree here; float sums rely on replica order,
+	// which MergeAll fixes. This test pins the integer half.
+	a := buildSnapshot(0)
+	b := buildSnapshot(3)
+	ab := MergeAll([]Snapshot{a, b})
+	ba := MergeAll([]Snapshot{b, a})
+	if ab.Counters["tx:heartbeat"] != ba.Counters["tx:heartbeat"] {
+		t.Error("counter merge not commutative")
+	}
+	if !ab.Equal(MergeAll([]Snapshot{a, b})) {
+		t.Error("MergeAll not deterministic for identical input order")
+	}
+}
+
+func TestMergeMismatchedHistogramBoundsPanics(t *testing.T) {
+	r1 := NewRegistry()
+	r1.Histogram("h", []float64{1}).Observe(0.5)
+	r2 := NewRegistry()
+	r2.Histogram("h", []float64{2}).Observe(0.5)
+	s := r1.Snapshot()
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched bounds merged silently")
+		}
+	}()
+	s.Merge(r2.Snapshot())
+}
+
+func TestWriteJSONDeterministic(t *testing.T) {
+	s := buildSnapshot(1)
+	var a, b bytes.Buffer
+	if err := s.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("JSON export not byte-stable")
+	}
+	for _, want := range []string{`"tx:heartbeat": 11`, `"counters"`, `"series"`, `"histograms"`} {
+		if !strings.Contains(a.String(), want) {
+			t.Errorf("JSON missing %q:\n%s", want, a.String())
+		}
+	}
+}
+
+func TestWriteCSVSchema(t *testing.T) {
+	s := buildSnapshot(0)
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "section,name,key,value" {
+		t.Errorf("header = %q", lines[0])
+	}
+	for _, want := range []string{
+		"counter,tx:heartbeat,,10",
+		"gauge,operational,,40",
+		"histogram,latency-s,count,2",
+		"histogram,latency-s,le:+Inf,0",
+		"series,detections,epoch:0,0", // dense epoch axis: zeros included
+		"series,detections,epoch:1,2",
+		"series,detections,epoch:2,1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("CSV missing %q:\n%s", want, out)
+		}
+	}
+	var again bytes.Buffer
+	_ = s.WriteCSV(&again)
+	if again.String() != out {
+		t.Error("CSV export not byte-stable")
+	}
+}
+
+func TestSnapshotEqual(t *testing.T) {
+	if !buildSnapshot(2).Equal(buildSnapshot(2)) {
+		t.Error("identical snapshots not Equal")
+	}
+	if buildSnapshot(2).Equal(buildSnapshot(3)) {
+		t.Error("different snapshots Equal")
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"clusterfds/internal/cluster"
 	"clusterfds/internal/fds"
 	"clusterfds/internal/geo"
+	"clusterfds/internal/metrics"
 	"clusterfds/internal/node"
 	"clusterfds/internal/radio"
 	"clusterfds/internal/replicate"
@@ -47,6 +48,11 @@ type ClusterExperiment struct {
 	Seed int64
 	// Workers is the replication fan-out (0 = GOMAXPROCS, 1 = serial).
 	Workers int
+	// CollectMetrics attaches a per-trial metrics registry (radio counters
+	// plus FDS event series) and merges the snapshots in trial order into
+	// Outcome.Metrics. Off by default: the validation's hot loop runs
+	// thousands of trials and needs no observability.
+	CollectMetrics bool
 }
 
 // Outcome pairs an empirical estimate with its analytic prediction.
@@ -57,6 +63,9 @@ type Outcome struct {
 	Empirical stats.Proportion
 	// Analytic is the closed-form prediction at the same parameters.
 	Analytic float64
+	// Metrics merges the per-trial registry snapshots in trial order
+	// (empty unless the experiment sets CollectMetrics).
+	Metrics metrics.Snapshot
 }
 
 // Consistent reports whether the analytic prediction lies within the
@@ -106,11 +115,11 @@ type trial struct {
 // member. Views are installed statically: the experiment studies one FDS
 // execution, not formation. StrictModelMode disables evidence paths the
 // formulas do not credit.
-func newTrial(e ClusterExperiment, seed int64, dchAdjacent bool) *trial {
+func newTrial(e ClusterExperiment, seed int64, dchAdjacent bool, reg *metrics.Registry) *trial {
 	k := sim.New(seed)
 	params := radio.Defaults(e.LossProb)
 	params.Range = e.Radius
-	m := radio.New(k, params)
+	m := radio.New(k, params, radio.WithMetrics(reg))
 	timing := cluster.DefaultTiming()
 
 	center := geo.Point{X: 0, Y: 0}
@@ -148,6 +157,7 @@ func newTrial(e ClusterExperiment, seed int64, dchAdjacent bool) *trial {
 		cl.InstallStaticView(1, members, []wire.NodeID{2}, wire.NodeID(i+1))
 		cfg := fds.DefaultConfig(timing)
 		cfg.StrictModelMode = true
+		cfg.Metrics = reg
 		f := fds.New(cfg, cl)
 		h.Use(cl)
 		h.Use(f)
@@ -167,23 +177,36 @@ func (t *trial) runOneExecution() {
 	t.kernel.RunUntil(t.timing.Interval - 1)
 }
 
+// trialResult carries one trial's verdict and (optionally) its metrics.
+type trialResult struct {
+	verdict bool
+	metrics metrics.Snapshot
+}
+
 // runTrials fans e.Trials independent trials out over the replication
 // engine, each on a kernel seeded deterministically from (e.Seed, i), and
-// folds the per-trial verdicts into a proportion in trial order. Per-trial
-// kernels share no mutable state, so any worker count yields bit-identical
-// results.
-func (e ClusterExperiment) runTrials(dchAdjacent bool, verdict func(*trial) bool) stats.Proportion {
-	verdicts, _ := replicate.RunOpts(replicate.Opts{Workers: e.Workers}, e.Trials, e.Seed,
-		func(i int, _ *rand.Rand) bool {
-			t := newTrial(e, replicate.Seed(e.Seed, i), dchAdjacent)
+// folds the per-trial verdicts into a proportion — and, when CollectMetrics
+// is set, the per-trial snapshots into one merged snapshot — in trial
+// order. Per-trial kernels share no mutable state, so any worker count
+// yields bit-identical results.
+func (e ClusterExperiment) runTrials(dchAdjacent bool, verdict func(*trial) bool) (stats.Proportion, metrics.Snapshot) {
+	results, _ := replicate.RunOpts(replicate.Opts{Workers: e.Workers}, e.Trials, e.Seed,
+		func(i int, _ *rand.Rand) trialResult {
+			var reg *metrics.Registry // nil: instruments are no-ops
+			if e.CollectMetrics {
+				reg = metrics.NewRegistry()
+			}
+			t := newTrial(e, replicate.Seed(e.Seed, i), dchAdjacent, reg)
 			t.runOneExecution()
-			return verdict(t)
+			return trialResult{verdict: verdict(t), metrics: reg.Snapshot()}
 		})
 	var p stats.Proportion
-	for _, v := range verdicts {
-		p.AddOutcome(v)
+	var snap metrics.Snapshot
+	for _, r := range results {
+		p.AddOutcome(r.verdict)
+		snap.Merge(r.metrics)
 	}
-	return p
+	return p, snap
 }
 
 // FalseDetection measures P̂(False detection): the probability the CH
@@ -191,12 +214,14 @@ func (e ClusterExperiment) runTrials(dchAdjacent bool, verdict func(*trial) bool
 // execution (Figure 5 cross-validation).
 func (e ClusterExperiment) FalseDetection() Outcome {
 	e = e.defaults()
+	emp, snap := e.runTrials(false, func(t *trial) bool {
+		return t.fdss[0].IsSuspected(wire.NodeID(t.subject + 1))
+	})
 	return Outcome{
-		Name:     fmt.Sprintf("P(False detection) N=%d p=%.2f", e.N, e.LossProb),
-		Analytic: analysis.FalseDetection(e.N, e.LossProb),
-		Empirical: e.runTrials(false, func(t *trial) bool {
-			return t.fdss[0].IsSuspected(wire.NodeID(t.subject + 1))
-		}),
+		Name:      fmt.Sprintf("P(False detection) N=%d p=%.2f", e.N, e.LossProb),
+		Analytic:  analysis.FalseDetection(e.N, e.LossProb),
+		Empirical: emp,
+		Metrics:   snap,
 	}
 }
 
@@ -205,12 +230,14 @@ func (e ClusterExperiment) FalseDetection() Outcome {
 // cross-validation).
 func (e ClusterExperiment) FalseDetectionOnCH() Outcome {
 	e = e.defaults()
+	emp, snap := e.runTrials(true, func(t *trial) bool {
+		return t.cls[t.dchIdx].View().IsCH
+	})
 	return Outcome{
-		Name:     fmt.Sprintf("P(False detection on CH) N=%d p=%.2f", e.N, e.LossProb),
-		Analytic: analysis.FalseDetectionOnCH(e.N, e.LossProb),
-		Empirical: e.runTrials(true, func(t *trial) bool {
-			return t.cls[t.dchIdx].View().IsCH
-		}),
+		Name:      fmt.Sprintf("P(False detection on CH) N=%d p=%.2f", e.N, e.LossProb),
+		Analytic:  analysis.FalseDetectionOnCH(e.N, e.LossProb),
+		Empirical: emp,
+		Metrics:   snap,
 	}
 }
 
@@ -219,12 +246,14 @@ func (e ClusterExperiment) FalseDetectionOnCH() Outcome {
 // update despite peer forwarding (Figure 7 cross-validation).
 func (e ClusterExperiment) Incompleteness() Outcome {
 	e = e.defaults()
+	emp, snap := e.runTrials(false, func(t *trial) bool {
+		return !t.fdss[t.subject].UpdateReceived()
+	})
 	return Outcome{
-		Name:     fmt.Sprintf("P(Incompleteness) N=%d p=%.2f", e.N, e.LossProb),
-		Analytic: analysis.Incompleteness(e.N, e.LossProb),
-		Empirical: e.runTrials(false, func(t *trial) bool {
-			return !t.fdss[t.subject].UpdateReceived()
-		}),
+		Name:      fmt.Sprintf("P(Incompleteness) N=%d p=%.2f", e.N, e.LossProb),
+		Analytic:  analysis.Incompleteness(e.N, e.LossProb),
+		Empirical: emp,
+		Metrics:   snap,
 	}
 }
 

@@ -140,7 +140,7 @@ func TestEvidenceGeometry(t *testing.T) {
 	detected := 0
 	digestsSentTotal := int64(0)
 	for i := 0; i < e.Trials; i++ {
-		tr := newTrial(e, e.Seed+int64(i), false)
+		tr := newTrial(e, e.Seed+int64(i), false, nil)
 		// Count neighbors of the subject before running.
 		subjPos := tr.hosts[tr.subject].Pos()
 		n := 0
@@ -174,7 +174,7 @@ func TestEvidenceChainPerfect(t *testing.T) {
 	e = e.defaults()
 	detected, zeroNbr, detectedWithNbr := 0, 0, 0
 	for i := 0; i < e.Trials; i++ {
-		tr := newTrial(e, e.Seed+int64(i), false)
+		tr := newTrial(e, e.Seed+int64(i), false, nil)
 		subj := wire.NodeID(tr.subject + 1)
 		tr.medium.SetLinkLoss(subj, 1, 1.0)
 		subjPos := tr.hosts[tr.subject].Pos()

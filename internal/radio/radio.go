@@ -20,8 +20,8 @@ import (
 	"sort"
 
 	"clusterfds/internal/geo"
+	"clusterfds/internal/metrics"
 	"clusterfds/internal/sim"
-	"clusterfds/internal/stats"
 	"clusterfds/internal/trace"
 	"clusterfds/internal/wire"
 )
@@ -93,8 +93,21 @@ type Medium struct {
 	// partition injection).
 	silenced map[wire.NodeID]bool
 
-	energy   map[wire.NodeID]*energyMeter
-	counters stats.Counter
+	energy map[wire.NodeID]*energyMeter
+
+	// metrics is the counter backend. Per-kind counters resolve through the
+	// txCount/rxCount handle arrays so the broadcast hot path performs no
+	// map lookups and no allocations; the named handles below are resolved
+	// once in New. When no registry is injected with WithMetrics, the
+	// medium owns a private one.
+	metrics          *metrics.Registry
+	txCount, rxCount [256]*metrics.Counter
+	txBytes          *metrics.Counter
+	dropLoss         *metrics.Counter
+	dropSilenced     *metrics.Counter
+	dropRxDown       *metrics.Counter
+	txSilencedMsgs   *metrics.Counter
+	txSilencedBytes  *metrics.Counter
 
 	// tracing is false when sink is the no-op sink, letting the hot paths
 	// skip building event detail strings nobody will read.
@@ -132,6 +145,17 @@ func WithTrace(s trace.Sink) Option {
 	return func(m *Medium) { m.sink = s }
 }
 
+// WithMetrics makes the medium record its counters into the given registry
+// instead of a private one, so scenarios can export radio, FDS, and
+// harness metrics as one snapshot. Passing nil keeps the private registry.
+func WithMetrics(r *metrics.Registry) Option {
+	return func(m *Medium) {
+		if r != nil {
+			m.metrics = r
+		}
+	}
+}
+
 // New creates a medium on the given kernel.
 func New(kernel *sim.Kernel, params Params, opts ...Option) *Medium {
 	if params.Range <= 0 {
@@ -156,9 +180,39 @@ func New(kernel *sim.Kernel, params Params, opts ...Option) *Medium {
 	for _, opt := range opts {
 		opt(m)
 	}
+	if m.metrics == nil {
+		m.metrics = metrics.NewRegistry()
+	}
+	m.txBytes = m.metrics.Counter("tx-bytes")
+	m.dropLoss = m.metrics.Counter("drop:loss")
+	m.dropSilenced = m.metrics.Counter("drop:silenced")
+	m.dropRxDown = m.metrics.Counter("drop:receiver-down")
+	m.txSilencedMsgs = m.metrics.Counter("tx-silenced-msgs")
+	m.txSilencedBytes = m.metrics.Counter("tx-silenced-bytes")
 	_, nop := m.sink.(trace.Nop)
 	m.tracing = !nop
 	return m
+}
+
+// txCounter resolves the tx counter handle for a kind, registering it on
+// first use so snapshots list only kinds that actually flowed.
+func (m *Medium) txCounter(k wire.Kind) *metrics.Counter {
+	c := m.txCount[k]
+	if c == nil {
+		c = m.metrics.Counter(txLabel[k])
+		m.txCount[k] = c
+	}
+	return c
+}
+
+// rxCounter resolves the rx counter handle for a kind.
+func (m *Medium) rxCounter(k wire.Kind) *metrics.Counter {
+	c := m.rxCount[k]
+	if c == nil {
+		c = m.metrics.Counter(rxLabel[k])
+		m.rxCount[k] = c
+	}
+	return c
 }
 
 // Params returns the medium's configuration.
@@ -251,6 +305,14 @@ func (m *Medium) Silence(id wire.NodeID, on bool) {
 //
 // Crashed or unattached senders transmit nothing (fail-stop: a crashed host
 // is silent). The sender never receives its own transmission.
+//
+// Counter semantics for a silenced sender (radio jamming / partition
+// injection): the host still believes it transmitted, so it is charged the
+// full tx energy — a jammed radio burns power — but the attempt is NOT
+// counted under tx:<kind>/tx-bytes, because those counters feed the
+// message-cost experiments and nobody can hear the send. Silenced attempts
+// are tallied separately under tx-silenced-msgs/tx-silenced-bytes (and the
+// per-send drop:silenced), so partition studies can still account for them.
 func (m *Medium) Send(from wire.NodeID, msg wire.Message) {
 	sender, ok := m.nodes[from]
 	if !ok || !sender.Operational() {
@@ -258,8 +320,6 @@ func (m *Medium) Send(from wire.NodeID, msg wire.Message) {
 	}
 	size := msg.WireSize()
 	m.chargeTx(from, size)
-	m.counters.Inc(txLabel[msg.Kind()], 1)
-	m.counters.Inc("tx-bytes", int64(size))
 	if m.tracing {
 		m.sink.Emit(trace.Event{
 			At: m.kernel.Now(), Type: trace.TypeSend, Node: uint32(from),
@@ -267,9 +327,13 @@ func (m *Medium) Send(from wire.NodeID, msg wire.Message) {
 		})
 	}
 	if m.silenced[from] {
-		m.counters.Inc("drop:silenced", 1)
+		m.dropSilenced.Add(1)
+		m.txSilencedMsgs.Add(1)
+		m.txSilencedBytes.Add(int64(size))
 		return
 	}
+	m.txCounter(msg.Kind()).Add(1)
+	m.txBytes.Add(int64(size))
 
 	// Encode once into a reusable scratch buffer, then give each surviving
 	// receiver an independent decode at scheduling time so no state is
@@ -277,6 +341,7 @@ func (m *Medium) Send(from wire.NodeID, msg wire.Message) {
 	// scratch is free again the moment Send returns.
 	m.encScratch = wire.EncodeAppend(m.encScratch[:0], msg)
 	encoded := m.encScratch
+	rxc := m.rxCounter(msg.Kind()) // resolved once; deliveries share the handle
 	origin := sender.Pos()
 	rng := m.kernel.Rand()
 	m.nearScratch = m.grid.appendNear(m.nearScratch[:0], origin)
@@ -293,7 +358,7 @@ func (m *Medium) Send(from wire.NodeID, msg wire.Message) {
 			loss = override
 		}
 		if rng.Float64() < loss {
-			m.counters.Inc("drop:loss", 1)
+			m.dropLoss.Add(1)
 			if m.tracing {
 				m.sink.Emit(trace.Event{
 					At: m.kernel.Now(), Type: trace.TypeDrop, Node: uint32(id),
@@ -315,11 +380,11 @@ func (m *Medium) Send(from wire.NodeID, msg wire.Message) {
 		id := id
 		m.kernel.Schedule(delay, func() {
 			if !rcv.Operational() {
-				m.counters.Inc("drop:receiver-down", 1)
+				m.dropRxDown.Add(1)
 				return
 			}
 			m.chargeRx(id, size)
-			m.counters.Inc(rxLabel[decoded.Kind()], 1)
+			rxc.Add(1)
 			if m.tracing {
 				m.sink.Emit(trace.Event{
 					At: m.kernel.Now(), Type: trace.TypeDeliver, Node: uint32(id),
@@ -383,12 +448,40 @@ func (m *Medium) TotalEnergySpent() float64 {
 }
 
 // Counters returns a snapshot of the medium's tallies (tx/rx per kind,
-// bytes, drops).
-func (m *Medium) Counters() map[string]int64 { return m.counters.Snapshot() }
+// bytes, drops). Only nonzero tallies appear, matching the historical
+// only-touched-names behaviour.
+func (m *Medium) Counters() map[string]int64 {
+	out := make(map[string]int64)
+	add := func(name string, c *metrics.Counter) {
+		if v := c.Value(); v != 0 {
+			out[name] = v
+		}
+	}
+	for k := 0; k < 256; k++ {
+		add(txLabel[k], m.txCount[k])
+		add(rxLabel[k], m.rxCount[k])
+	}
+	add("tx-bytes", m.txBytes)
+	add("drop:loss", m.dropLoss)
+	add("drop:silenced", m.dropSilenced)
+	add("drop:receiver-down", m.dropRxDown)
+	add("tx-silenced-msgs", m.txSilencedMsgs)
+	add("tx-silenced-bytes", m.txSilencedBytes)
+	return out
+}
 
-// Sent returns how many messages of the given kind have been transmitted.
-func (m *Medium) Sent(k wire.Kind) int64 { return m.counters.Get("tx:" + k.String()) }
+// Sent returns how many messages of the given kind have been transmitted
+// (hearably — silenced attempts are excluded; see Send). Reads go through
+// the precomputed per-kind handle, not a string lookup.
+func (m *Medium) Sent(k wire.Kind) int64 { return m.txCount[k].Value() }
+
+// Received returns how many deliveries of the given kind have completed.
+func (m *Medium) Received(k wire.Kind) int64 { return m.rxCount[k].Value() }
 
 // Dropped returns how many point-to-point deliveries were lost to the
 // channel.
-func (m *Medium) Dropped() int64 { return m.counters.Get("drop:loss") }
+func (m *Medium) Dropped() int64 { return m.dropLoss.Value() }
+
+// Metrics returns the registry the medium records into (the injected one,
+// or the medium's private registry).
+func (m *Medium) Metrics() *metrics.Registry { return m.metrics }

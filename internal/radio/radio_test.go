@@ -235,6 +235,55 @@ func TestSilence(t *testing.T) {
 	}
 }
 
+// TestSilencedSenderCounters pins the silenced-sender accounting order: a
+// jammed radio still burns tx energy (the host believes it transmitted),
+// but the attempt must NOT appear under tx:<kind>/tx-bytes — message-count
+// experiments would otherwise overstate cost — and instead lands in the
+// dedicated tx-silenced counters. Regression test for the pre-fix Send,
+// which counted tx:<kind> and tx-bytes before the silenced check.
+func TestSilencedSenderCounters(t *testing.T) {
+	k := sim.New(1)
+	m, nodes := makeField(t, k, lossless(), []geo.Point{{X: 0, Y: 0}, {X: 10, Y: 0}})
+	m.Silence(1, true)
+	msg := &wire.Heartbeat{NID: 1, Epoch: 1}
+	m.Send(1, msg)
+	k.Run()
+
+	c := m.Counters()
+	if c["tx:heartbeat"] != 0 {
+		t.Errorf("silenced send counted under tx:heartbeat = %d, want 0", c["tx:heartbeat"])
+	}
+	if c["tx-bytes"] != 0 {
+		t.Errorf("silenced send counted under tx-bytes = %d, want 0", c["tx-bytes"])
+	}
+	if c["drop:silenced"] != 1 {
+		t.Errorf("drop:silenced = %d, want 1", c["drop:silenced"])
+	}
+	if c["tx-silenced-msgs"] != 1 || c["tx-silenced-bytes"] != int64(msg.WireSize()) {
+		t.Errorf("tx-silenced-msgs=%d tx-silenced-bytes=%d, want 1 and %d",
+			c["tx-silenced-msgs"], c["tx-silenced-bytes"], msg.WireSize())
+	}
+	if m.Sent(wire.KindHeartbeat) != 0 {
+		t.Errorf("Sent(heartbeat) = %d, want 0", m.Sent(wire.KindHeartbeat))
+	}
+	// The jammed radio still spent transmission energy.
+	if spent := m.EnergySpent(1); spent <= 0 {
+		t.Errorf("silenced sender spent %v energy, want > 0", spent)
+	}
+	if len(nodes[1].received) != 0 {
+		t.Error("silenced host was heard")
+	}
+
+	// Unsilenced sends count normally again.
+	m.Silence(1, false)
+	m.Send(1, msg)
+	k.Run()
+	if m.Sent(wire.KindHeartbeat) != 1 || m.Received(wire.KindHeartbeat) != 1 {
+		t.Errorf("post-unsilence Sent=%d Received=%d, want 1,1",
+			m.Sent(wire.KindHeartbeat), m.Received(wire.KindHeartbeat))
+	}
+}
+
 func TestDelayWithinBounds(t *testing.T) {
 	params := Defaults(0)
 	k := sim.New(3)

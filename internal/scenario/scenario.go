@@ -19,6 +19,7 @@ import (
 	"clusterfds/internal/fds"
 	"clusterfds/internal/geo"
 	"clusterfds/internal/intercluster"
+	"clusterfds/internal/metrics"
 	"clusterfds/internal/node"
 	"clusterfds/internal/radio"
 	"clusterfds/internal/sim"
@@ -138,18 +139,36 @@ type World struct {
 
 	crashedAt      map[wire.NodeID]sim.Time
 	firstSuspected map[wire.NodeID]map[wire.NodeID]sim.Time // subject -> observer -> time
+
+	// metrics is the world's registry, shared with the medium (per-kind
+	// counters) and every FDS instance (per-epoch event series). The
+	// epoch sampler turns the medium's cumulative per-kind counters into
+	// per-epoch tx:/rx: series; detLat collects detection latencies.
+	metrics        *metrics.Registry
+	txSeries       [int(wire.KindEnd)]*metrics.Series
+	rxSeries       [int(wire.KindEnd)]*metrics.Series
+	prevTx, prevRx [int(wire.KindEnd)]int64
+	detLat         *metrics.Histogram
 }
+
+// detectionLatencyBounds are the upper bucket edges, in seconds, of the
+// detection-latency histogram. With φ = 10 s, in-cluster detection lands
+// within one to two intervals; dissemination tails stretch further.
+var detectionLatencyBounds = []float64{0.5, 1, 2, 5, 10, 15, 20, 30, 60}
 
 // Build constructs the world: hosts placed uniformly at random over the
 // field, all booted at time zero.
 func Build(cfg Config) *World {
 	cfg = cfg.withDefaults()
 	k := sim.New(cfg.Seed)
-	m := radio.New(k, radio.Defaults(cfg.LossProb), radio.WithTrace(cfg.Trace))
+	reg := metrics.NewRegistry()
+	m := radio.New(k, radio.Defaults(cfg.LossProb), radio.WithTrace(cfg.Trace), radio.WithMetrics(reg))
 	w := &World{
 		cfg:            cfg,
 		Kernel:         k,
 		Medium:         m,
+		metrics:        reg,
+		detLat:         reg.Histogram("detection-latency-s", detectionLatencyBounds),
 		hosts:          make(map[wire.NodeID]*node.Host),
 		dets:           make(map[wire.NodeID]baseline.Detector),
 		cls:            make(map[wire.NodeID]*cluster.Protocol),
@@ -164,6 +183,7 @@ func Build(cfg Config) *World {
 		w.addHost(geo.UniformInRect(k.Rand(), field))
 	}
 	w.scheduleMonitor()
+	w.scheduleEpochSampler()
 	return w
 }
 
@@ -183,6 +203,7 @@ func (w *World) addHostWithID(id wire.NodeID, pos geo.Point) {
 		cl := cluster.New(cluster.DefaultConfig())
 		fcfg := fds.DefaultConfig(w.cfg.Timing)
 		fcfg.PeerForwarding = !w.cfg.DisablePeerForwarding
+		fcfg.Metrics = w.metrics
 		f := fds.New(fcfg, cl)
 		icfg := intercluster.DefaultConfig(w.cfg.Timing)
 		icfg.BGWAssist = !w.cfg.DisableBGWAssist
@@ -250,12 +271,67 @@ func (w *World) scheduleMonitor() {
 				}
 				if w.dets[id].IsSuspected(subject) {
 					obs[id] = now
+					w.detLat.Observe(time.Duration(now - w.crashedAt[subject]).Seconds())
 				}
 			}
 		}
 		w.Kernel.Schedule(w.cfg.MonitorPeriod, tick)
 	}
 	w.Kernel.Schedule(w.cfg.MonitorPeriod, tick)
+}
+
+// scheduleEpochSampler ticks at every heartbeat-interval boundary and turns
+// the medium's cumulative per-kind counters into per-epoch series: the delta
+// accumulated between the boundaries of epoch e is attributed to epoch e.
+// Series share the counters' names (tx:<kind>, rx:<kind>); the namespaces
+// are distinct, so exports carry both the running total and its epoch
+// profile.
+func (w *World) scheduleEpochSampler() {
+	var tick func()
+	tick = func() {
+		if e := w.cfg.Timing.EpochOf(w.Kernel.Now()); e > 0 {
+			w.flushEpochDeltas(uint64(e) - 1)
+		}
+		w.Kernel.Schedule(w.cfg.Timing.Interval, tick)
+	}
+	w.Kernel.Schedule(w.cfg.Timing.Interval, tick)
+}
+
+// flushEpochDeltas attributes per-kind counter growth since the previous
+// flush to epoch e. Idempotent between counter changes; handles are
+// resolved lazily so only kinds that actually flowed appear in snapshots.
+func (w *World) flushEpochDeltas(e uint64) {
+	for k := wire.Kind(1); k < wire.KindEnd; k++ {
+		if tx := w.Medium.Sent(k); tx != w.prevTx[k] {
+			if w.txSeries[k] == nil {
+				w.txSeries[k] = w.metrics.Series("tx:" + k.String())
+			}
+			w.txSeries[k].Add(e, tx-w.prevTx[k])
+			w.prevTx[k] = tx
+		}
+		if rx := w.Medium.Received(k); rx != w.prevRx[k] {
+			if w.rxSeries[k] == nil {
+				w.rxSeries[k] = w.metrics.Series("rx:" + k.String())
+			}
+			w.rxSeries[k].Add(e, rx-w.prevRx[k])
+			w.prevRx[k] = rx
+		}
+	}
+}
+
+// Metrics returns the world's registry (shared by the medium and every FDS
+// instance). Single-threaded like the kernel; snapshot before crossing
+// goroutines.
+func (w *World) Metrics() *metrics.Registry { return w.metrics }
+
+// MetricsSnapshot flushes the in-progress epoch's per-kind deltas, records
+// the summary gauges (operational host count, fleet energy spent), and
+// returns the registry's state as plain mergeable data.
+func (w *World) MetricsSnapshot() metrics.Snapshot {
+	w.flushEpochDeltas(uint64(w.cfg.Timing.EpochOf(w.Kernel.Now())))
+	w.metrics.Gauge("operational").Set(float64(len(w.Operational())))
+	w.metrics.Gauge("energy-spent").Set(w.TotalEnergySpent())
+	return w.metrics.Snapshot()
 }
 
 // Run advances the world to the given absolute virtual time.

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"time"
 
+	"clusterfds/internal/metrics"
 	"clusterfds/internal/replicate"
 	"clusterfds/internal/sim"
 	"clusterfds/internal/stats"
@@ -71,6 +72,9 @@ type CrashOutcome struct {
 	TxMessages, TxBytes int64
 	// Energy is the fleet's cumulative energy expenditure.
 	Energy float64
+	// Metrics is the replica's full registry snapshot: per-kind counters,
+	// per-epoch series, latency histograms, summary gauges.
+	Metrics metrics.Snapshot
 }
 
 // Completeness returns the fraction of operational hosts aware of the
@@ -127,6 +131,7 @@ func (s CrashStudy) Run() []CrashOutcome {
 		}
 		o.TxBytes = counts["tx-bytes"]
 		o.Energy = w.TotalEnergySpent()
+		o.Metrics = w.MetricsSnapshot()
 		return o
 	})
 }
@@ -143,6 +148,10 @@ type StudySummary struct {
 	TxMessages, TxBytes, Energy float64
 	// FalseSuspicions is the total across replicas.
 	FalseSuspicions int
+	// Metrics merges every replica's snapshot in replica order: counters
+	// and series sum, gauges sum (divide by Trials for a mean), histograms
+	// combine. Identical for every worker count.
+	Metrics metrics.Snapshot
 }
 
 // Summarize folds per-replica outcomes, in replica order, into one report.
@@ -161,6 +170,7 @@ func Summarize(outcomes []CrashOutcome) StudySummary {
 		s.TxBytes += float64(o.TxBytes)
 		s.Energy += float64(o.Energy)
 		s.FalseSuspicions += o.FalseSuspicions
+		s.Metrics.Merge(o.Metrics)
 	}
 	if n := float64(len(outcomes)); n > 0 {
 		s.TxMessages /= n

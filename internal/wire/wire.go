@@ -61,6 +61,10 @@ const (
 	kindEnd // one past the last valid kind
 )
 
+// KindEnd is one past the last valid message kind, for callers that iterate
+// the kind space (per-kind counters, epoch series).
+const KindEnd = kindEnd
+
 // String implements fmt.Stringer.
 func (k Kind) String() string {
 	switch k {

@@ -1,0 +1,89 @@
+package clusterfds_test
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"testing"
+	"time"
+
+	"clusterfds/internal/scenario"
+	"clusterfds/internal/sim"
+	"clusterfds/internal/trace"
+	"clusterfds/internal/wire"
+)
+
+// goldenRunHash pins the byte-exact behavior of a full 100-node cluster-FDS
+// run: every trace event (in emission order) plus the complete metrics
+// export (JSON and CSV) is folded into one SHA-256. The constant was
+// committed BEFORE the PR 4 dense-state/heap/decode rewrite, so the rewrite
+// must reproduce the pre-rewrite run bit for bit — any change to event
+// ordering, detection outcomes, message traffic, or metric values shows up
+// as a hash mismatch. Update this constant only for changes that are MEANT
+// to alter simulation behavior, and say so in the commit message.
+const goldenRunHash = "50bcd883dceb7a21bd8fe9445dee6e092c7135b6a02156b98f96bcb954b5d845"
+
+// hashSink streams trace events into a hash without retaining them.
+type hashSink struct {
+	h hash.Hash
+	n int
+}
+
+func (s *hashSink) Emit(e trace.Event) {
+	s.n++
+	fmt.Fprintf(s.h, "%d|%s|%d|%s\n", int64(e.At), e.Type, e.Node, e.Detail)
+}
+
+// TestGoldenTraceHash is the determinism regression gate for hot-path
+// rewrites (satellite of PR 4). It exercises the whole stack — clustering,
+// FDS epochs, crashes mid-epoch, peer forwarding, rescissions, metrics —
+// and requires the combined trace+metrics digest to be stable.
+func TestGoldenTraceHash(t *testing.T) {
+	sink := &hashSink{h: sha256.New()}
+	w := scenario.Build(scenario.Config{
+		Seed:      20260806,
+		Nodes:     100,
+		FieldSide: 500,
+		LossProb:  0.1,
+		Stack:     scenario.StackClusterFDS,
+		Trace:     sink,
+	})
+
+	// Let clustering settle, then crash nodes in two waves so the run
+	// includes detections, health updates, and takeover traffic.
+	timing := w.Config().Timing
+	crashA := sim.Time(3)*timing.Interval + sim.Time(200*time.Millisecond)
+	crashB := sim.Time(6)*timing.Interval + sim.Time(700*time.Millisecond)
+	w.CrashRandomAt(crashA, 3)
+	w.CrashRandomAt(crashB, 2)
+	w.RunEpochs(12)
+
+	// Fold the full metrics export (both encodings) into the same digest so
+	// counter/histogram/series regressions are caught too.
+	snap := w.MetricsSnapshot()
+	if err := snap.WriteJSON(sink.h); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if err := snap.WriteCSV(sink.h); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	// Fold in a stable summary of final detector state as seen by one
+	// survivor, so suspicion outcomes are covered even if tracing of some
+	// event type changes.
+	var probe wire.NodeID
+	for _, id := range w.Operational() {
+		probe = id
+		break
+	}
+	aware, operational := w.Completeness(probe)
+	fmt.Fprintf(sink.h, "completeness|%d|%d|%d\n", probe, aware, operational)
+
+	got := hex.EncodeToString(sink.h.Sum(nil))
+	if sink.n == 0 {
+		t.Fatal("trace sink saw zero events; scenario not wired to sink")
+	}
+	if got != goldenRunHash {
+		t.Errorf("golden run hash changed:\n  got  %s\n  want %s\n(%d trace events) — the run is no longer byte-identical to the pre-rewrite behavior", got, goldenRunHash, sink.n)
+	}
+}

@@ -147,3 +147,45 @@ func TestStartEpochBoundary(t *testing.T) {
 		})
 	}
 }
+
+// TestSleepExcusalPrunedForDeadSleeper pins the epoch-boundary sleep-excusal
+// prune: an excusal whose wake epoch has passed must leave sleepUntil at the
+// next epoch start on EVERY host that recorded it. Pre-fix, reaping happened
+// only lazily inside excused(), which runs solely in the CH's detection loop
+// and only for live members — so a node that died during its announced nap
+// (skipped via IsFailed / dropped from membership), and every non-CH host
+// that recorded the notice (members and deputies never run the detection
+// rule), retained the entry forever.
+func TestSleepExcusalPrunedForDeadSleeper(t *testing.T) {
+	w := buildWorld(t, worldConfig{seed: 7}, star(6, 60))
+	// Let the cluster form, then announce: node 3 naps through epoch 5.
+	w.runUntilEpoch(3)
+	notice := &wire.SleepNotice{NID: 3, Epoch: 3, Until: 5}
+	for _, f := range w.fds {
+		f.onSleepNotice(notice)
+	}
+	for _, f := range w.fds {
+		if f.SleepExcusals() != 1 {
+			t.Fatal("excusal not recorded; scenario broken")
+		}
+	}
+	// The sleeper dies mid-nap: it never wakes, never heartbeats again.
+	w.kernel.At(w.timing.EpochStart(4)+w.timing.Interval/2, func() { w.hosts[2].Crash() })
+	// Run well past the wake-grace epoch (excused through epoch 5, expired
+	// from epoch 6 on) plus one boundary so runEpoch(7)'s prune has run.
+	w.runUntilEpoch(7)
+	w.kernel.RunUntil(w.timing.EpochStart(7) + w.timing.Thop)
+
+	for i, f := range w.fds {
+		if i == 2 {
+			continue // the crashed sleeper itself
+		}
+		if n := f.SleepExcusals(); n != 0 {
+			t.Errorf("node %d retains %d expired sleep excusals, want 0", i+1, n)
+		}
+	}
+	// The dead sleeper must still have been detected once its grace ended.
+	if !w.fds[0].IsSuspected(3) {
+		t.Error("CH never detected the dead sleeper")
+	}
+}

@@ -224,6 +224,7 @@ func (p *Protocol) scheduleEpoch(e wire.Epoch) {
 func (p *Protocol) runEpoch(e wire.Epoch) {
 	p.finishEpoch() // settle orphan accounting for the epoch that just ended
 	p.epoch = e
+	p.pruneSleepers(e)
 	p.snapshot = p.cluster.View()
 	p.active = p.snapshot.Marked
 	p.heardHB = make(map[wire.NodeID]bool)
@@ -486,6 +487,29 @@ func (p *Protocol) onSleepNotice(m *wire.SleepNotice) {
 		p.sleepUntil[m.NID] = m.Until
 	}
 }
+
+// pruneSleepers drops expired sleep excusals at the epoch boundary. excused
+// only reaps lazily, on lookup — and lookups happen solely inside the CH's
+// detection loop, for nodes that are members and not already believed
+// failed. An excusal recorded for a node that dies during its nap (removed
+// from membership or marked failed before its wake epoch), or recorded on a
+// host that never runs the detection rule at all (members, deputies), was
+// therefore never deleted and accreted forever. Epoch-boundary pruning
+// bounds the structure by the number of currently napping nodes. An entry
+// is expired once until < e: excused grants grace through epoch == until,
+// so only strictly earlier wake epochs are dead weight.
+func (p *Protocol) pruneSleepers(e wire.Epoch) {
+	for id, until := range p.sleepUntil {
+		if until < e {
+			delete(p.sleepUntil, id)
+		}
+	}
+}
+
+// SleepExcusals returns how many sleep excusals this host currently
+// records. Expired entries are pruned at each epoch boundary, so outside a
+// nap window this is zero; tests and monitors use it to pin the lifecycle.
+func (p *Protocol) SleepExcusals() int { return len(p.sleepUntil) }
 
 // excused reports whether v is an announced sleeper for epoch e (with one
 // epoch of wake grace, since the sleeper's first heartbeat after waking can

@@ -34,11 +34,35 @@ func (g *grid) remove(id wire.NodeID, p geo.Point) {
 	ids := g.cells[k]
 	for i, x := range ids {
 		if x == id {
+			if len(ids) == 1 {
+				// Last occupant: delete the key outright. Keeping an
+				// empty slice keyed forever (the pre-fix behavior) made
+				// the cell map grow monotonically with every cell any
+				// host EVER visited — under mobility a long random walk
+				// leaked one map entry (plus slice header) per vacated
+				// cell, and appendNear's 3x3 probes kept hashing into
+				// an ever-larger table.
+				delete(g.cells, k)
+				return
+			}
 			ids[i] = ids[len(ids)-1]
 			g.cells[k] = ids[:len(ids)-1]
 			return
 		}
 	}
+}
+
+// liveCells returns how many cells currently hold at least one node.
+// remove deletes emptied keys, so this equals len(g.cells); tests assert
+// the equivalence to pin the no-leak invariant.
+func (g *grid) liveCells() int {
+	n := 0
+	for _, ids := range g.cells {
+		if len(ids) > 0 {
+			n++
+		}
+	}
+	return n
 }
 
 func (g *grid) move(id wire.NodeID, from, to geo.Point) {

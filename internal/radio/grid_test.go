@@ -1,0 +1,75 @@
+package radio
+
+import (
+	"math/rand"
+	"testing"
+
+	"clusterfds/internal/geo"
+	"clusterfds/internal/wire"
+)
+
+// TestGridNoEmptyCellLeakUnderMobility pins the fix for the grid.remove leak:
+// before the fix, vacating the last occupant of a cell left an empty []NodeID
+// slice keyed in g.cells forever, so a long random walk grew the map with one
+// dead entry per cell any host ever visited. After the fix the map holds
+// exactly the currently occupied cells.
+func TestGridNoEmptyCellLeakUnderMobility(t *testing.T) {
+	const (
+		cell  = 100.0
+		nodes = 50
+		steps = 4000
+		side  = 5000.0 // 50x50 = 2500 cells >> nodes, so walks vacate cells constantly
+	)
+	g := newGrid(cell)
+	rng := rand.New(rand.NewSource(42))
+
+	pos := make([]geo.Point, nodes)
+	for i := range pos {
+		pos[i] = geo.Point{X: rng.Float64() * side, Y: rng.Float64() * side}
+		g.insert(wire.NodeID(i+1), pos[i])
+	}
+
+	for s := 0; s < steps; s++ {
+		i := rng.Intn(nodes)
+		to := geo.Point{X: rng.Float64() * side, Y: rng.Float64() * side}
+		g.move(wire.NodeID(i+1), pos[i], to)
+		pos[i] = to
+	}
+
+	// Ground truth: the set of cells currently occupied by at least one node.
+	occupied := make(map[[2]int32]bool)
+	for _, p := range pos {
+		occupied[g.key(p)] = true
+	}
+
+	if got, want := g.liveCells(), len(occupied); got != want {
+		t.Errorf("liveCells = %d, want %d occupied cells", got, want)
+	}
+	// The no-leak invariant: every key in the map is a live cell. Pre-fix this
+	// failed with len(g.cells) in the thousands (one per vacated cell).
+	if got, want := len(g.cells), len(occupied); got != want {
+		t.Errorf("len(g.cells) = %d, want %d: %d leaked empty-cell keys",
+			got, want, got-want)
+	}
+
+	// Membership must still be exact after the churn: every node findable via
+	// forNear at its current position, and total stored IDs == nodes.
+	total := 0
+	for _, ids := range g.cells {
+		total += len(ids)
+	}
+	if total != nodes {
+		t.Errorf("grid stores %d ids, want %d", total, nodes)
+	}
+	for i, p := range pos {
+		found := false
+		g.forNear(p, func(id wire.NodeID) {
+			if id == wire.NodeID(i+1) {
+				found = true
+			}
+		})
+		if !found {
+			t.Errorf("node %d not found near its own position after walk", i+1)
+		}
+	}
+}

@@ -23,7 +23,8 @@
 package cluster
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"clusterfds/internal/node"
 	"clusterfds/internal/sim"
@@ -150,6 +151,16 @@ type Protocol struct {
 	// earshot. Bounded so a host covered only by ordinary members (never
 	// heard by a CH) still founds its own overlapping cluster.
 	deferCount int
+
+	// viewCache memoizes View() between state mutations. Every co-resident
+	// protocol calls View() on each delivery (intercluster does it per
+	// report), and rebuilding — three fresh sorted slices — was the single
+	// largest allocation site in the epoch hot loop. Each mutator that
+	// changes view-visible state calls invalidateView; the rebuild
+	// allocates FRESH slices so snapshots handed out before a mutation
+	// stay immutable (fds holds its View across a whole epoch).
+	viewCache View
+	viewValid bool
 }
 
 // New returns a formation protocol with the given configuration.
@@ -201,7 +212,8 @@ func (p *Protocol) scheduleEpoch(e wire.Epoch) {
 // algorithm for this host.
 func (p *Protocol) runEpoch(e wire.Epoch) {
 	p.epoch = e
-	p.heardUnmarked = make(map[wire.NodeID]bool)
+	p.invalidateView() // epoch is view-visible, and staleness windows move
+	clear(p.heardUnmarked)
 	p.heardMarked = false
 	p.heardDeclare = false
 	p.heardAnnounce = false
@@ -278,6 +290,7 @@ func (p *Protocol) becomeCH(e wire.Epoch) {
 	p.deferCount = 0
 	p.isCH = true
 	p.myCH = p.host.ID()
+	p.invalidateView()
 	p.members = map[wire.NodeID]bool{p.host.ID(): true}
 	for id := range p.heardUnmarked {
 		p.members[id] = true
@@ -304,6 +317,7 @@ func (p *Protocol) maybeAnnounce(e wire.Epoch) {
 	}
 	p.foldCoverage()
 	p.rankDCHs()
+	p.invalidateView() // members may have grown; dchs re-ranked
 	p.memberChanged = false
 	ann := &wire.ClusterAnnounce{
 		CH:      p.host.ID(),
@@ -343,12 +357,15 @@ func (p *Protocol) rankDCHs() {
 			candidates = append(candidates, id)
 		}
 	}
-	sort.Slice(candidates, func(i, j int) bool {
-		ci, cj := p.coverage[candidates[i]], p.coverage[candidates[j]]
-		if ci != cj {
-			return ci > cj
+	slices.SortFunc(candidates, func(a, b wire.NodeID) int {
+		ca, cb := p.coverage[a], p.coverage[b]
+		if ca != cb {
+			if ca > cb {
+				return -1
+			}
+			return 1
 		}
-		return candidates[i] < candidates[j]
+		return cmp.Compare(a, b)
 	})
 	if len(candidates) > p.cfg.MaxDCH {
 		candidates = candidates[:p.cfg.MaxDCH]
@@ -394,6 +411,7 @@ func (p *Protocol) rankDCHs() {
 		}
 	}
 	p.dchs = next
+	p.invalidateView()
 }
 
 // maybeRegisterGW broadcasts a gateway registration when this host hears
@@ -431,7 +449,7 @@ func (p *Protocol) currentOtherCHs(e wire.Epoch) []wire.NodeID {
 		}
 		out = append(out, ch)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -470,7 +488,14 @@ func (p *Protocol) onHealthUpdate(m *wire.HealthUpdate) {
 	if !p.marked || m.From != m.CH || m.CH == p.myCH {
 		return
 	}
-	p.otherCHs[m.CH] = p.epoch
+	// Only invalidate the memoized View when the entry actually changes:
+	// each foreign CH refreshes at most once per epoch, so the steady state
+	// (hearing the same CHs every epoch) rebuilds the view once per epoch
+	// instead of once per overheard health update.
+	if last, ok := p.otherCHs[m.CH]; !ok || last != p.epoch {
+		p.otherCHs[m.CH] = p.epoch
+		p.invalidateView()
+	}
 	if p.isCH {
 		p.neighborCHs[m.CH] = p.epoch
 	}
@@ -519,7 +544,10 @@ func (p *Protocol) onAnnounce(m *wire.ClusterAnnounce) {
 	case p.marked && m.CH != p.myCH:
 		// A foreign clusterhead within earshot: we are a gateway
 		// candidate between the two clusters.
-		p.otherCHs[m.CH] = p.epoch
+		if last, ok := p.otherCHs[m.CH]; !ok || last != p.epoch {
+			p.otherCHs[m.CH] = p.epoch
+			p.invalidateView()
+		}
 		if p.isCH {
 			p.neighborCHs[m.CH] = p.epoch
 		}
@@ -532,7 +560,8 @@ func (p *Protocol) setMembersFromAnnounce(m *wire.ClusterAnnounce) {
 		p.members[id] = true
 	}
 	p.members[m.CH] = true
-	p.dchs = append([]wire.NodeID(nil), m.DCHs...)
+	p.dchs = append(p.dchs[:0], m.DCHs...)
+	p.invalidateView()
 }
 
 func (p *Protocol) onGWRegister(m *wire.GWRegister) {
@@ -561,6 +590,7 @@ func (p *Protocol) onGWRegister(m *wire.GWRegister) {
 			if p.members[m.GW] {
 				delete(p.members, m.GW)
 				p.memberChanged = true
+				p.invalidateView()
 			}
 			p.neighborCHs[m.AffiliateCH] = p.epoch
 		}
@@ -593,6 +623,7 @@ func (p *Protocol) onDigest(m *wire.Digest) {
 			delete(p.coverage, m.NID)
 			delete(p.epochCoverage, m.NID)
 			p.memberChanged = true
+			p.invalidateView()
 			return
 		}
 		p.epochCoverage[m.NID] = len(m.Heard)
@@ -623,7 +654,7 @@ func (p *Protocol) BorderClusters() []wire.NodeID {
 		}
 		out = append(out, ch)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -640,6 +671,9 @@ func (p *Protocol) IsBorderPeer(ch, id wire.NodeID) bool {
 // calls it on the CH when it detects failures and on members when they
 // process a health-status update.
 func (p *Protocol) NoteFailed(ids []wire.NodeID) {
+	if len(ids) > 0 {
+		p.invalidateView()
+	}
 	for _, id := range ids {
 		if p.members[id] {
 			delete(p.members, id)
@@ -668,6 +702,7 @@ func (p *Protocol) Readmit(id wire.NodeID) {
 	}
 	p.members[id] = true
 	p.memberChanged = true
+	p.invalidateView()
 }
 
 // Demote reverts the host to the unmarked state so it re-enters cluster
@@ -681,6 +716,7 @@ func (p *Protocol) Demote() {
 	p.myCH = wire.NoNode
 	p.members = make(map[wire.NodeID]bool)
 	p.dchs = nil
+	p.invalidateView()
 }
 
 // TakeOver promotes this host (a deputy clusterhead) to clusterhead after
@@ -698,6 +734,7 @@ func (p *Protocol) TakeOver() {
 		}
 	}
 	p.memberChanged = true
+	p.invalidateView()
 	p.host.Trace(trace.TypeTakeover, old.String())
 }
 
@@ -722,25 +759,41 @@ func (p *Protocol) NoteNewCH(oldCH, newCH wire.NodeID) {
 			break
 		}
 	}
+	p.invalidateView()
 }
 
 // --- queries ----------------------------------------------------------------
 
-// View returns a snapshot of the host's cluster state.
+// View returns a snapshot of the host's cluster state. The snapshot is
+// memoized: repeated calls between mutations return the same slices, so
+// callers must treat Members/DCHs/OtherCHs as read-only (every in-repo
+// caller already did — the slices were always meant to be immutable).
 func (p *Protocol) View() View {
-	v := View{
-		Epoch:  p.epoch,
-		Marked: p.marked,
-		CH:     p.myCH,
-		IsCH:   p.isCH,
+	// The epoch guard catches direct epoch manipulation (tests, harnesses)
+	// that bypasses runEpoch: staleness windows move with the epoch, so a
+	// cache built in an earlier epoch can never be served in a later one.
+	if !p.viewValid || p.viewCache.Epoch != p.epoch {
+		v := View{
+			Epoch:  p.epoch,
+			Marked: p.marked,
+			CH:     p.myCH,
+			IsCH:   p.isCH,
+		}
+		if p.marked {
+			v.Members = p.sortedMembers()
+			v.DCHs = append([]wire.NodeID(nil), p.dchs...)
+			v.OtherCHs = p.currentOtherCHs(p.epoch)
+		}
+		p.viewCache = v
+		p.viewValid = true
 	}
-	if p.marked {
-		v.Members = p.sortedMembers()
-		v.DCHs = append([]wire.NodeID(nil), p.dchs...)
-		v.OtherCHs = p.currentOtherCHs(p.epoch)
-	}
-	return v
+	return p.viewCache
 }
+
+// invalidateView marks the memoized View stale. Call it after any mutation
+// of epoch, marked, isCH, myCH, members, dchs, or otherCHs. The next View()
+// rebuilds with fresh slices; previously returned snapshots are untouched.
+func (p *Protocol) invalidateView() { p.viewValid = false }
 
 // NeighborCHs returns the clusterheads of neighboring clusters known to
 // this CH, sorted. Empty for non-CHs.
@@ -757,7 +810,7 @@ func (p *Protocol) NeighborCHs() []wire.NodeID {
 		}
 		out = append(out, ch)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -774,7 +827,7 @@ func (p *Protocol) GWRank(chA, chB wire.NodeID) (rank, n int, ok bool) {
 	for id := range set {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 	for i, id := range ids {
 		if id == p.host.ID() {
 			return i + 1, len(ids), true
@@ -791,7 +844,7 @@ func (p *Protocol) GatewayCandidates(chA, chB wire.NodeID) []wire.NodeID {
 	for id := range set {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 	return ids
 }
 
@@ -800,7 +853,7 @@ func (p *Protocol) sortedMembers() []wire.NodeID {
 	for id := range p.members {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 	return ids
 }
 
@@ -819,4 +872,5 @@ func (p *Protocol) InstallStaticView(ch wire.NodeID, members, dchs []wire.NodeID
 	}
 	p.members[ch] = true
 	p.dchs = append([]wire.NodeID(nil), dchs...)
+	p.invalidateView()
 }

@@ -1,0 +1,145 @@
+package dense
+
+import (
+	"math/rand"
+	"testing"
+
+	"clusterfds/internal/wire"
+)
+
+func TestInternerAssignsStableConsecutiveIndices(t *testing.T) {
+	var in Interner
+	ids := []wire.NodeID{7, 3, 7, 100, 3, 1}
+	want := []uint32{0, 1, 0, 2, 1, 3}
+	for k, id := range ids {
+		if got := in.Index(id); got != want[k] {
+			t.Fatalf("Index(%d) call %d = %d, want %d", id, k, got, want[k])
+		}
+	}
+	if in.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", in.Len())
+	}
+	for _, id := range []wire.NodeID{7, 3, 100, 1} {
+		i, ok := in.Lookup(id)
+		if !ok || in.NodeID(i) != id {
+			t.Fatalf("round trip failed for %d: (%d, %v)", id, i, ok)
+		}
+	}
+	if _, ok := in.Lookup(42); ok {
+		t.Fatal("Lookup invented an index for an unseen ID")
+	}
+}
+
+func TestInternerLargeIDsUseMapFallback(t *testing.T) {
+	var in Interner
+	big := wire.NodeID(1 << 20)
+	i1 := in.Index(big)
+	i2 := in.Index(5)
+	if i1 != 0 || i2 != 1 {
+		t.Fatalf("indices = %d, %d; want 0, 1", i1, i2)
+	}
+	if got := in.Index(big); got != i1 {
+		t.Fatalf("big ID not stable: %d then %d", i1, got)
+	}
+	if j, ok := in.Lookup(big); !ok || j != i1 || in.NodeID(j) != big {
+		t.Fatalf("big ID round trip failed: (%d, %v)", j, ok)
+	}
+}
+
+func TestBitsetBasics(t *testing.T) {
+	var b Bitset
+	if b.Get(0) || b.Get(1000) || b.Count() != 0 {
+		t.Fatal("zero-value bitset not empty")
+	}
+	b.Set(0)
+	b.Set(63)
+	b.Set(64)
+	b.Set(300)
+	if b.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", b.Count())
+	}
+	for _, i := range []uint32{0, 63, 64, 300} {
+		if !b.Get(i) {
+			t.Fatalf("Get(%d) = false after Set", i)
+		}
+	}
+	if b.Get(1) || b.Get(299) || b.Get(100000) {
+		t.Fatal("spurious membership")
+	}
+	b.Unset(63)
+	b.Unset(100000) // out of range: no-op
+	if b.Get(63) || b.Count() != 3 {
+		t.Fatal("Unset failed")
+	}
+	var got []uint32
+	b.ForEach(func(i uint32) { got = append(got, i) })
+	want := []uint32{0, 64, 300}
+	if len(got) != len(want) {
+		t.Fatalf("ForEach = %v, want %v", got, want)
+	}
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("ForEach = %v, want %v (ascending order)", got, want)
+		}
+	}
+	cap0 := len(b.words)
+	b.Clear()
+	if b.Count() != 0 || len(b.words) != cap0 {
+		t.Fatal("Clear must empty in place, retaining capacity")
+	}
+}
+
+func TestBitsetMatchesMapModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var b Bitset
+	model := map[uint32]bool{}
+	for op := 0; op < 20000; op++ {
+		i := uint32(rng.Intn(2000))
+		switch rng.Intn(3) {
+		case 0:
+			b.Set(i)
+			model[i] = true
+		case 1:
+			b.Unset(i)
+			delete(model, i)
+		case 2:
+			if b.Get(i) != model[i] {
+				t.Fatalf("op %d: Get(%d) = %v, model %v", op, i, b.Get(i), model[i])
+			}
+		}
+	}
+	if b.Count() != len(model) {
+		t.Fatalf("Count = %d, model %d", b.Count(), len(model))
+	}
+	n := 0
+	b.ForEach(func(i uint32) {
+		if !model[i] {
+			t.Fatalf("ForEach yielded %d not in model", i)
+		}
+		n++
+	})
+	if n != len(model) {
+		t.Fatalf("ForEach yielded %d indices, model %d", n, len(model))
+	}
+}
+
+func TestBitsetSteadyStateAllocFree(t *testing.T) {
+	var b Bitset
+	for i := uint32(0); i < 512; i++ {
+		b.Set(i)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		b.Clear()
+		for i := uint32(0); i < 512; i += 3 {
+			b.Set(i)
+		}
+		s := 0
+		b.ForEach(func(uint32) { s++ })
+		if s == 0 {
+			t.Fatal("no bits")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state epoch cycle allocates %.1f times, want 0", allocs)
+	}
+}

@@ -51,8 +51,8 @@ func TestForwardTimerRemovedAfterFire(t *testing.T) {
 	// forward-timer entry: answered requests are deleted by the ack, fired
 	// timers must delete themselves.
 	for i, f := range w.fds {
-		if n := len(f.forwardTimers); n != 0 {
-			t.Errorf("node %d retains %d forwardTimers entries after fire", i+1, n)
+		if n := f.pendingForwards(); n != 0 {
+			t.Errorf("node %d retains %d live forward-timer entries after fire", i+1, n)
 		}
 	}
 }
@@ -105,11 +105,11 @@ func TestHeartbeatEvidenceRequiresActive(t *testing.T) {
 	if late.Active() {
 		t.Fatal("late host active in its first epoch; evidence gate untestable")
 	}
-	if n := len(late.heardHB); n != 0 {
+	if n := late.heardHB.Count(); n != 0 {
 		t.Errorf("inactive late host accumulated %d heartbeat evidence entries, want 0", n)
 	}
 	// Established hosts, by contrast, must have full R-1 evidence.
-	if n := len(w.fds[0].heardHB); n == 0 {
+	if n := w.fds[0].heardHB.Count(); n == 0 {
 		t.Error("CH heard no heartbeats; world broken")
 	}
 }

@@ -31,9 +31,10 @@ package fds
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"clusterfds/internal/cluster"
+	"clusterfds/internal/dense"
 	"clusterfds/internal/membership"
 	"clusterfds/internal/metrics"
 	"clusterfds/internal/node"
@@ -110,13 +111,24 @@ type Protocol struct {
 	snapshot cluster.View // role snapshot taken at epoch start
 	active   bool         // participating this epoch (marked at epoch start)
 
-	// R-1 evidence: in-cluster heartbeats heard this epoch.
-	heardHB map[wire.NodeID]bool
+	// ids interns every NodeID this host collects evidence about onto
+	// dense, stable indices; all bitset/slice state below is keyed by
+	// those indices. Roster-scoped: only IDs actually heard are interned,
+	// so the index space tracks neighborhood size, not network size.
+	ids dense.Interner
+
+	// R-1 evidence: in-cluster heartbeats heard this epoch. Dense bitset
+	// cleared in place at each epoch boundary — the map predecessor was
+	// reallocated every epoch and dominated the hot-loop profile.
+	heardHB dense.Bitset
 
 	// CH evidence (also collected by DCHs, which overhear everything the
 	// CH does thanks to promiscuous receiving).
-	digestFrom    map[wire.NodeID]bool // members whose digest arrived
-	aliveInDigest map[wire.NodeID]bool // nodes some received digest lists
+	digestFrom    dense.Bitset // members whose digest arrived
+	aliveInDigest dense.Bitset // nodes some received digest lists
+
+	// heardScratch is sendDigest's reusable member-list buffer.
+	heardScratch []wire.NodeID
 
 	// Member evidence.
 	updateReceived bool
@@ -124,8 +136,16 @@ type Protocol struct {
 	missedUpdates  int
 	ackedForward   bool
 
-	// Peer-forwarding responder state.
-	forwardTimers map[wire.NodeID]sim.Timer
+	// Peer-forwarding responder state, dense-indexed by requester with
+	// epoch-stamped validity: fwdStamp[i] == uint64(epoch)+1 marks
+	// fwdTimer[i] as belonging to the current epoch (0 = no entry; the +1
+	// keeps epoch 0 distinguishable from "empty"). fwdActive lists the
+	// indices touched this epoch so the boundary sweep cancels only them
+	// instead of scanning the whole table; duplicates are harmless because
+	// Cancel is idempotent.
+	fwdTimer  []sim.Timer
+	fwdStamp  []uint64
+	fwdActive []uint32
 
 	// pendingRescind collects false detections withdrawn since the last
 	// health update (CH only; announced in the next update's Rescinded).
@@ -145,8 +165,12 @@ type Protocol struct {
 
 	// sleepUntil excuses announced sleepers from the detection rule until
 	// their declared wake epoch (Section 6: reducing sleep-mode-caused
-	// false detections). See package sleep.
-	sleepUntil map[wire.NodeID]wire.Epoch
+	// false detections). See package sleep. Dense-indexed; 0 means "no
+	// excusal" — a valid sentinel because onSleepNotice requires
+	// Until > Epoch, so every recorded wake epoch is >= 1. sleepCount
+	// tracks the number of live excusals for O(1) SleepExcusals.
+	sleepUntil []wire.Epoch
+	sleepCount int
 
 	// Metric handles, resolved once in New. All are valid no-op
 	// instruments when cfg.Metrics is nil. The series count per-host
@@ -182,14 +206,9 @@ func New(cfg Config, cl *cluster.Protocol) *Protocol {
 	}
 	r := cfg.Metrics // nil registry yields nil (no-op) handles
 	return &Protocol{
-		cfg:           cfg,
-		cluster:       cl,
-		heardHB:       make(map[wire.NodeID]bool),
-		digestFrom:    make(map[wire.NodeID]bool),
-		aliveInDigest: make(map[wire.NodeID]bool),
-		forwardTimers: make(map[wire.NodeID]sim.Timer),
-		sleepUntil:    make(map[wire.NodeID]wire.Epoch),
-		mDetect:       r.Series("detections"),
+		cfg:     cfg,
+		cluster: cl,
+		mDetect: r.Series("detections"),
 		mFalse:        r.Series("false-detections"),
 		mRescind:      r.Series("rescissions"),
 		mFwdReq:       r.Series("forward-requests"),
@@ -227,9 +246,9 @@ func (p *Protocol) runEpoch(e wire.Epoch) {
 	p.pruneSleepers(e)
 	p.snapshot = p.cluster.View()
 	p.active = p.snapshot.Marked
-	p.heardHB = make(map[wire.NodeID]bool)
-	p.digestFrom = make(map[wire.NodeID]bool)
-	p.aliveInDigest = make(map[wire.NodeID]bool)
+	p.heardHB.Clear()
+	p.digestFrom.Clear()
+	p.aliveInDigest.Clear()
 	p.updateReceived = false
 	p.update = nil
 	p.ackedForward = false
@@ -279,7 +298,7 @@ func (p *Protocol) finishEpoch() {
 	if !p.active || p.snapshot.IsCH {
 		return
 	}
-	if p.updateReceived || p.heardHB[p.snapshot.CH] {
+	if p.updateReceived || p.hbHeard(p.snapshot.CH) {
 		p.missedUpdates = 0
 		return
 	}
@@ -325,11 +344,25 @@ func (p *Protocol) lowestSurvivingMember() bool {
 		if id == me || id == p.snapshot.CH || p.view.IsFailed(id) {
 			continue
 		}
-		if id < me && p.heardHB[id] {
+		if id < me && p.hbHeard(id) {
 			return false
 		}
 	}
 	return true
+}
+
+// hbHeard reports whether id's heartbeat was heard this epoch.
+func (p *Protocol) hbHeard(id wire.NodeID) bool {
+	i, ok := p.ids.Lookup(id)
+	return ok && p.heardHB.Get(i)
+}
+
+// anyEvidence reports whether any of the detection rule's three evidence
+// sources vouches for id this epoch: its heartbeat was heard (fds.R-1), its
+// digest arrived (fds.R-2), or some received digest lists it as heard.
+func (p *Protocol) anyEvidence(id wire.NodeID) bool {
+	i, ok := p.ids.Lookup(id)
+	return ok && (p.heardHB.Get(i) || p.digestFrom.Get(i) || p.aliveInDigest.Get(i))
 }
 
 // dchRank returns this host's 1-based rank among the snapshot's deputy
@@ -346,13 +379,16 @@ func (p *Protocol) dchRank() int {
 // sendDigest broadcasts this host's fds.R-2 digest: the in-cluster
 // heartbeats heard during fds.R-1.
 func (p *Protocol) sendDigest(e wire.Epoch) {
-	heard := make([]wire.NodeID, 0, len(p.heardHB))
-	for id := range p.heardHB {
-		if p.snapshot.IsMember(id) {
+	heard := p.heardScratch[:0]
+	p.heardHB.ForEach(func(i uint32) {
+		if id := p.ids.NodeID(i); p.snapshot.IsMember(id) {
 			heard = append(heard, id)
 		}
-	}
-	sort.Slice(heard, func(i, j int) bool { return heard[i] < heard[j] })
+	})
+	// Bitset order is interning order, not NID order; sort so the digest's
+	// member list is byte-identical to the map-era output.
+	slices.Sort(heard)
+	p.heardScratch = heard
 	d := &wire.Digest{NID: p.host.ID(), CH: p.snapshot.CH, Epoch: e, Heard: heard}
 	if p.readingSource != nil {
 		if v, ok := p.readingSource(e); ok {
@@ -382,7 +418,7 @@ func (p *Protocol) detectAndAnnounce(e wire.Epoch) {
 		if v == p.host.ID() || p.view.IsFailed(v) || p.excused(v, e) {
 			continue
 		}
-		if !p.heardHB[v] && !p.digestFrom[v] && !p.aliveInDigest[v] {
+		if !p.anyEvidence(v) {
 			newFailed = append(newFailed, v)
 		}
 	}
@@ -419,7 +455,7 @@ func (p *Protocol) detectAndAnnounce(e wire.Epoch) {
 // arrive in fds.R-3.
 func (p *Protocol) checkCHFailure(e wire.Epoch) {
 	ch := p.snapshot.CH
-	if p.updateReceived || p.heardHB[ch] || p.digestFrom[ch] || p.aliveInDigest[ch] {
+	if p.updateReceived || p.anyEvidence(ch) {
 		return
 	}
 	if p.view.IsFailed(ch) {
@@ -483,8 +519,15 @@ func (p *Protocol) onSleepNotice(m *wire.SleepNotice) {
 	if m.Until <= m.Epoch {
 		return // malformed or already over
 	}
-	if until, ok := p.sleepUntil[m.NID]; !ok || m.Until > until {
-		p.sleepUntil[m.NID] = m.Until
+	i := p.ids.Index(m.NID)
+	if int(i) >= len(p.sleepUntil) {
+		p.sleepUntil = append(p.sleepUntil, make([]wire.Epoch, int(i)+1-len(p.sleepUntil))...)
+	}
+	if cur := p.sleepUntil[i]; cur == 0 || m.Until > cur {
+		if cur == 0 {
+			p.sleepCount++
+		}
+		p.sleepUntil[i] = m.Until
 	}
 }
 
@@ -499,9 +542,13 @@ func (p *Protocol) onSleepNotice(m *wire.SleepNotice) {
 // is expired once until < e: excused grants grace through epoch == until,
 // so only strictly earlier wake epochs are dead weight.
 func (p *Protocol) pruneSleepers(e wire.Epoch) {
-	for id, until := range p.sleepUntil {
-		if until < e {
-			delete(p.sleepUntil, id)
+	if p.sleepCount == 0 {
+		return
+	}
+	for i, until := range p.sleepUntil {
+		if until != 0 && until < e {
+			p.sleepUntil[i] = 0
+			p.sleepCount--
 		}
 	}
 }
@@ -509,20 +556,25 @@ func (p *Protocol) pruneSleepers(e wire.Epoch) {
 // SleepExcusals returns how many sleep excusals this host currently
 // records. Expired entries are pruned at each epoch boundary, so outside a
 // nap window this is zero; tests and monitors use it to pin the lifecycle.
-func (p *Protocol) SleepExcusals() int { return len(p.sleepUntil) }
+func (p *Protocol) SleepExcusals() int { return p.sleepCount }
 
 // excused reports whether v is an announced sleeper for epoch e (with one
 // epoch of wake grace, since the sleeper's first heartbeat after waking can
 // itself be lost).
 func (p *Protocol) excused(v wire.NodeID, e wire.Epoch) bool {
-	until, ok := p.sleepUntil[v]
-	if !ok {
+	i, ok := p.ids.Lookup(v)
+	if !ok || int(i) >= len(p.sleepUntil) {
+		return false
+	}
+	until := p.sleepUntil[i]
+	if until == 0 {
 		return false
 	}
 	if e <= until {
 		return true
 	}
-	delete(p.sleepUntil, v) // nap over; stop excusing
+	p.sleepUntil[i] = 0 // nap over; stop excusing
+	p.sleepCount--
 	return false
 }
 
@@ -538,7 +590,7 @@ func (p *Protocol) onHeartbeat(m *wire.Heartbeat) {
 	// them. (Before this gate, onHeartbeat recorded unconditionally while
 	// onDigest required p.active — an inconsistency, not a design.)
 	if p.active {
-		p.heardHB[m.NID] = true
+		p.heardHB.Set(p.ids.Index(m.NID))
 	}
 	// Fail-stop rescue: any heartbeat from a host this node believed
 	// failed proves the belief was a false detection (crashed hosts never
@@ -564,9 +616,9 @@ func (p *Protocol) onDigest(m *wire.Digest) {
 	if !p.active || m.Epoch != p.epoch {
 		return
 	}
-	p.digestFrom[m.NID] = true
+	p.digestFrom.Set(p.ids.Index(m.NID))
 	for _, id := range m.Heard {
-		p.aliveInDigest[id] = true
+		p.aliveInDigest.Set(p.ids.Index(id))
 	}
 }
 
@@ -654,21 +706,22 @@ func (p *Protocol) onForwardRequest(m *wire.ForwardRequest) {
 		return
 	}
 	requester := m.NID
-	if t, ok := p.forwardTimers[requester]; ok && t.Active() {
+	ri := p.ids.Index(requester)
+	if t, ok := p.fwdEntry(ri); ok && t.Active() {
 		return
 	}
 	wait := p.forwardWait()
 	upd := *p.update
 	e := p.epoch
-	p.forwardTimers[requester] = p.host.After(wait, func() {
-		// The timer has fired; drop its map entry immediately. Leaving it
-		// in place (the pre-fix behavior) pinned one stale Timer handle per
-		// requester served until the next epoch's cancelForwardTimers
-		// sweep: the handle points at a recycled pooled-event slot (only
-		// the generation check keeps the dangling Cancel harmless), and
-		// the map's size stopped reflecting the pending-forward count.
-		// Fired timers must leave the lifecycle map at once.
-		delete(p.forwardTimers, requester)
+	p.setFwdEntry(ri, p.host.After(wait, func() {
+		// The timer has fired; drop its entry immediately. Leaving it in
+		// place (the pre-fix behavior) pinned one stale Timer handle per
+		// requester served until the next epoch's boundary sweep: the
+		// handle points at a recycled pooled-event slot (only the
+		// generation check keeps the dangling Cancel harmless), and the
+		// table stopped reflecting the pending-forward count. Fired timers
+		// must leave the lifecycle table at once.
+		p.clearFwdEntry(ri)
 		p.mFwdAns.Add(uint64(e), 1)
 		p.host.Trace(trace.TypePeerForward, requester.String())
 		p.host.Send(&wire.ForwardedUpdate{
@@ -676,7 +729,48 @@ func (p *Protocol) onForwardRequest(m *wire.ForwardRequest) {
 			Requester: requester,
 			Update:    upd,
 		})
-	})
+	}))
+}
+
+// fwdEntry returns the live forward timer for dense index i, if one was
+// recorded this epoch.
+func (p *Protocol) fwdEntry(i uint32) (sim.Timer, bool) {
+	if int(i) >= len(p.fwdStamp) || p.fwdStamp[i] != uint64(p.epoch)+1 {
+		return sim.Timer{}, false
+	}
+	return p.fwdTimer[i], true
+}
+
+// setFwdEntry records t as index i's forward timer for the current epoch.
+func (p *Protocol) setFwdEntry(i uint32, t sim.Timer) {
+	if int(i) >= len(p.fwdStamp) {
+		n := int(i) + 1 - len(p.fwdStamp)
+		p.fwdStamp = append(p.fwdStamp, make([]uint64, n)...)
+		p.fwdTimer = append(p.fwdTimer, make([]sim.Timer, n)...)
+	}
+	p.fwdStamp[i] = uint64(p.epoch) + 1
+	p.fwdTimer[i] = t
+	p.fwdActive = append(p.fwdActive, i)
+}
+
+// clearFwdEntry invalidates index i's forward entry (fired or acked).
+func (p *Protocol) clearFwdEntry(i uint32) {
+	if int(i) < len(p.fwdStamp) {
+		p.fwdStamp[i] = 0
+		p.fwdTimer[i] = sim.Timer{}
+	}
+}
+
+// pendingForwards counts the forward timers still live this epoch (recorded,
+// not fired, not canceled). Tests use it to pin the entry lifecycle.
+func (p *Protocol) pendingForwards() int {
+	n := 0
+	for i, s := range p.fwdStamp {
+		if s == uint64(p.epoch)+1 && p.fwdTimer[i].Active() {
+			n++
+		}
+	}
+	return n
 }
 
 // forwardWait computes this peer's waiting period for a requested forward
@@ -731,9 +825,11 @@ func (p *Protocol) onForwardAck(m *wire.ForwardAck) {
 	if m.Epoch != p.epoch {
 		return
 	}
-	if t, ok := p.forwardTimers[m.NID]; ok {
-		t.Cancel()
-		delete(p.forwardTimers, m.NID)
+	if i, ok := p.ids.Lookup(m.NID); ok {
+		if t, live := p.fwdEntry(i); live {
+			t.Cancel()
+			p.clearFwdEntry(i)
+		}
 	}
 }
 
@@ -786,10 +882,13 @@ func appendUnique(rs []wire.Rescission, r wire.Rescission) []wire.Rescission {
 }
 
 func (p *Protocol) cancelForwardTimers() {
-	for id, t := range p.forwardTimers {
-		t.Cancel()
-		delete(p.forwardTimers, id)
+	for _, i := range p.fwdActive {
+		// Duplicates and already-fired entries are fine: Cancel on a stale
+		// generation-stamped handle is inert, and clearing twice is a no-op.
+		p.fwdTimer[i].Cancel()
+		p.clearFwdEntry(i)
 	}
+	p.fwdActive = p.fwdActive[:0]
 }
 
 // --- queries -----------------------------------------------------------------

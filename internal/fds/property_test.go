@@ -126,19 +126,17 @@ func TestDigestListsOnlyClusterMembers(t *testing.T) {
 	f.Handle(h, &wire.Heartbeat{NID: 77, Epoch: 0, Marked: true}, 77) // outsider
 	_ = k
 	heardSet := map[wire.NodeID]bool{}
-	for id := range f.heardHB {
-		heardSet[id] = true
-	}
+	f.heardHB.ForEach(func(i uint32) { heardSet[f.ids.NodeID(i)] = true })
 	if !heardSet[77] {
 		t.Fatal("outsider heartbeat not even recorded (test setup broken)")
 	}
 	// Build the digest the way sendDigest would.
 	var inDigest []wire.NodeID
-	for id := range f.heardHB {
-		if f.snapshot.IsMember(id) {
+	f.heardHB.ForEach(func(i uint32) {
+		if id := f.ids.NodeID(i); f.snapshot.IsMember(id) {
 			inDigest = append(inDigest, id)
 		}
-	}
+	})
 	for _, id := range inDigest {
 		if id == 77 {
 			t.Error("outsider leaked into the digest")

@@ -11,7 +11,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -24,6 +23,12 @@ type Time = time.Duration
 // Handler is a callback executed when an event fires.
 type Handler func()
 
+// ArgHandler is a callback executed with the argument it was scheduled with.
+// It exists so hot paths can schedule a shared (often pooled) handler plus a
+// pointer argument instead of allocating a fresh closure per event; see
+// Kernel.ScheduleArg.
+type ArgHandler func(arg any)
+
 // event is a scheduled callback. seq breaks ties so that events scheduled
 // for the same instant fire in scheduling order (FIFO), which keeps runs
 // deterministic.
@@ -33,46 +38,103 @@ type Handler func()
 // reuses so that a stale Timer handle (pointing at a recycled event) can
 // detect that its event is gone and stay inert instead of touching the new
 // occupant.
+//
+// Exactly one of fn and argFn is set. argFn+arg is the closure-free variant:
+// arg is typically a pointer, and storing a pointer in an interface does not
+// allocate, so ScheduleArg events cost zero heap beyond the pooled event.
 type event struct {
 	at       Time
 	seq      uint64
 	fn       Handler
+	argFn    ArgHandler
+	arg      any
 	canceled bool
-	index    int    // heap index, maintained by eventQueue
+	index    int    // heap index, maintained by eventQueue; -1 once popped
 	gen      uint64 // incremented on every release to the pool
 }
 
-// eventQueue is a min-heap ordered by (at, seq).
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// less orders events by (at, seq). seq is unique, so this is a strict total
+// order: ANY correct min-heap pops events in exactly this order, which is
+// why swapping heap arity cannot change simulation output.
+func less(x, y *event) bool {
+	if x.at != y.at {
+		return x.at < y.at
 	}
-	return q[i].seq < q[j].seq
+	return x.seq < y.seq
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+// eventQueue is a hand-rolled 4-ary min-heap over *event ordered by
+// (at, seq). It replaces container/heap, whose interface-based API boxed
+// every Push/Pop argument in an `any` and paid dynamic dispatch on each
+// Less/Swap — measurable overhead at the millions-of-events scale of the
+// 2000-node runs. A 4-ary layout also halves the tree depth versus binary,
+// trading slightly more comparisons per level for far fewer cache-missing
+// levels; event keys are hot, so this wins on the sift-down path that
+// dominates pops. Sift operations hole-copy (shift parents/children into the
+// hole, then place the saved event once) instead of swapping pairwise.
+type eventQueue struct {
+	a []*event
 }
 
-func (q *eventQueue) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*q)
-	*q = append(*q, ev)
+func (q *eventQueue) len() int { return len(q.a) }
+
+func (q *eventQueue) push(ev *event) {
+	i := len(q.a)
+	q.a = append(q.a, ev)
+	// Sift up: move the hole toward the root past larger parents.
+	a := q.a
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !less(ev, a[p]) {
+			break
+		}
+		a[i] = a[p]
+		a[i].index = i
+		i = p
+	}
+	a[i] = ev
+	ev.index = i
 }
 
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
+func (q *eventQueue) pop() *event {
+	a := q.a
+	ev := a[0]
+	n := len(a) - 1
+	last := a[n]
+	a[n] = nil
+	q.a = a[:n]
 	ev.index = -1
-	*q = old[:n-1]
+	if n == 0 {
+		return ev
+	}
+	// Sift the old tail down from the root: move the hole toward the
+	// leaves past smaller children.
+	a = q.a
+	i := 0
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if less(a[j], a[m]) {
+				m = j
+			}
+		}
+		if !less(a[m], last) {
+			break
+		}
+		a[i] = a[m]
+		a[i].index = i
+		i = m
+	}
+	a[i] = last
+	last.index = i
 	return ev
 }
 
@@ -132,7 +194,7 @@ func (k *Kernel) Steps() uint64 { return k.steps }
 
 // Pending returns the number of events currently scheduled (including
 // canceled events that have not yet been popped).
-func (k *Kernel) Pending() int { return len(k.queue) }
+func (k *Kernel) Pending() int { return k.queue.len() }
 
 // Schedule runs fn after the given delay of virtual time and returns a
 // cancellable handle. A negative delay is treated as zero: the event fires
@@ -141,16 +203,37 @@ func (k *Kernel) Schedule(delay Time, fn Handler) Timer {
 	if fn == nil {
 		panic("sim: Schedule called with nil handler")
 	}
+	ev := k.schedule(delay)
+	ev.fn = fn
+	return Timer{ev: ev, gen: ev.gen}
+}
+
+// ScheduleArg runs fn(arg) after the given delay. It behaves exactly like
+// Schedule with respect to ordering and cancellation, but lets hot paths
+// reuse one long-lived fn for many events and thread per-event state through
+// arg, avoiding a heap-allocated closure per event. Pass a pointer (or other
+// non-allocating interface payload) as arg to keep the call allocation-free.
+func (k *Kernel) ScheduleArg(delay Time, fn ArgHandler, arg any) Timer {
+	if fn == nil {
+		panic("sim: ScheduleArg called with nil handler")
+	}
+	ev := k.schedule(delay)
+	ev.argFn = fn
+	ev.arg = arg
+	return Timer{ev: ev, gen: ev.gen}
+}
+
+// schedule allocates, stamps, and enqueues an event with no handler set.
+func (k *Kernel) schedule(delay Time) *event {
 	if delay < 0 {
 		delay = 0
 	}
 	ev := k.alloc()
 	ev.at = k.now + delay
 	ev.seq = k.seq
-	ev.fn = fn
 	k.seq++
-	heap.Push(&k.queue, ev)
-	return Timer{ev: ev, gen: ev.gen}
+	k.queue.push(ev)
+	return ev
 }
 
 // alloc takes an event from the free list, or makes one.
@@ -165,11 +248,13 @@ func (k *Kernel) alloc() *event {
 }
 
 // release recycles a popped event. Bumping the generation invalidates every
-// outstanding Timer handle to it; clearing fn drops the handler closure so
-// the pool retains no protocol state.
+// outstanding Timer handle to it; clearing the handler fields drops the
+// closure and argument so the pool retains no protocol state.
 func (k *Kernel) release(ev *event) {
 	ev.gen++
 	ev.fn = nil
+	ev.argFn = nil
+	ev.arg = nil
 	ev.canceled = false
 	k.free = append(k.free, ev)
 }
@@ -190,20 +275,24 @@ func (k *Kernel) Stop() { k.stopped = true }
 // step pops and executes the next live event. It reports whether an event
 // was executed.
 func (k *Kernel) step() bool {
-	for len(k.queue) > 0 {
-		ev := heap.Pop(&k.queue).(*event)
+	for k.queue.len() > 0 {
+		ev := k.queue.pop()
 		if ev.canceled {
 			k.release(ev)
 			continue
 		}
 		k.now = ev.at
 		k.steps++
-		fn := ev.fn
+		fn, argFn, arg := ev.fn, ev.argFn, ev.arg
 		// Recycle before running: the handler may immediately schedule a
 		// follow-up, which then reuses this slot instead of allocating.
 		// Outstanding Timer handles are invalidated by the generation bump.
 		k.release(ev)
-		fn()
+		if fn != nil {
+			fn()
+		} else {
+			argFn(arg)
+		}
 		return true
 	}
 	return false
@@ -238,12 +327,12 @@ func (k *Kernel) RunUntil(deadline Time) Time {
 
 // peekTime returns the timestamp of the next live event.
 func (k *Kernel) peekTime() (Time, bool) {
-	for len(k.queue) > 0 {
-		if k.queue[0].canceled {
-			k.release(heap.Pop(&k.queue).(*event))
+	for k.queue.len() > 0 {
+		if k.queue.a[0].canceled {
+			k.release(k.queue.pop())
 			continue
 		}
-		return k.queue[0].at, true
+		return k.queue.a[0].at, true
 	}
 	return 0, false
 }

@@ -363,3 +363,92 @@ func TestEventPoolReusePreservesOrder(t *testing.T) {
 		}
 	}
 }
+
+// TestQuadHeapStressWithCancels hammers the hand-rolled 4-ary heap with a
+// mixed workload — random delays (many duplicates to exercise seq
+// tie-breaks), interleaved cancellations, and nested rescheduling — and
+// checks every surviving event fires in nondecreasing time with FIFO order
+// inside each instant. This is the direct regression net for the
+// container/heap -> 4-ary rewrite: (at, seq) is a strict total order, so any
+// correct heap must pop in exactly this order.
+func TestQuadHeapStressWithCancels(t *testing.T) {
+	k := New(99)
+	rng := rand.New(rand.NewSource(99))
+	type fired struct {
+		at  Time
+		seq int
+	}
+	var got []fired
+	var timers []Timer
+	n := 0
+	for i := 0; i < 3000; i++ {
+		d := Time(rng.Intn(50)) * time.Millisecond // heavy tie density
+		seq := n
+		n++
+		tm := k.Schedule(d, func() { got = append(got, fired{k.Now(), seq}) })
+		timers = append(timers, tm)
+	}
+	// Cancel a third of them, including some already-popped edge positions.
+	canceled := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		j := rng.Intn(len(timers))
+		timers[j].Cancel()
+		canceled[j] = true
+	}
+	k.Run()
+	if want := 3000 - len(canceled); len(got) != want {
+		t.Fatalf("fired %d events, want %d", len(got), want)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].at < got[i-1].at {
+			t.Fatalf("event %d fired at %v before %v", i, got[i].at, got[i-1].at)
+		}
+		if got[i].at == got[i-1].at && got[i].seq < got[i-1].seq {
+			t.Fatalf("same-instant events out of FIFO order: seq %d after %d",
+				got[i].seq, got[i-1].seq)
+		}
+	}
+	for i, f := range got {
+		if canceled[f.seq] {
+			t.Fatalf("canceled event %d fired (position %d)", f.seq, i)
+		}
+	}
+}
+
+// TestScheduleArg checks the closure-free scheduling variant: ordering is
+// identical to Schedule, the argument round-trips, and Cancel works.
+func TestScheduleArg(t *testing.T) {
+	k := New(1)
+	var order []int
+	record := func(arg any) { order = append(order, *arg.(*int)) }
+	vals := []int{10, 20, 30, 40}
+	k.Schedule(2*time.Millisecond, func() { order = append(order, 99) })
+	k.ScheduleArg(1*time.Millisecond, record, &vals[0])
+	k.ScheduleArg(2*time.Millisecond, record, &vals[1]) // ties with the closure above, later seq
+	tm := k.ScheduleArg(3*time.Millisecond, record, &vals[2])
+	k.ScheduleArg(4*time.Millisecond, record, &vals[3])
+	tm.Cancel()
+	if tm.Active() {
+		t.Fatal("canceled ScheduleArg timer still active")
+	}
+	k.Run()
+	want := []int{10, 99, 20, 40}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestScheduleArgNilPanics pins the nil-handler guard on the arg variant.
+func TestScheduleArgNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ScheduleArg(nil) did not panic")
+		}
+	}()
+	New(1).ScheduleArg(time.Millisecond, nil, 7)
+}

@@ -133,8 +133,16 @@ type Protocol struct {
 	// Member evidence.
 	updateReceived bool
 	update         *wire.HealthUpdate
-	missedUpdates  int
-	ackedForward   bool
+	// updateStore is the persistent deep-copy buffer behind p.update when
+	// the update arrived off the radio. Delivered messages are backed by the
+	// receiver's decode scratch and die when the handler returns, but
+	// p.update must survive to the end of the epoch (peer forwarding re-sends
+	// it; CurrentUpdate exposes it to the inter-cluster layer). The buffer's
+	// backing arrays are reused across epochs, so storing allocates nothing
+	// in steady state.
+	updateStore   wire.HealthUpdate
+	missedUpdates int
+	ackedForward  bool
 
 	// Peer-forwarding responder state, dense-indexed by requester with
 	// epoch-stamped validity: fwdStamp[i] == uint64(epoch)+1 marks
@@ -646,7 +654,7 @@ func (p *Protocol) onHealthUpdate(m *wire.HealthUpdate, forwarded bool) {
 	if mine {
 		if m.Epoch == p.epoch && !p.updateReceived {
 			p.updateReceived = true
-			p.update = m
+			p.update = p.storeUpdate(m)
 			// Delivery latency: how long past the start of fds.R-3 (the
 			// earliest instant the CH could have broadcast) the update took
 			// to arrive, whether directly or via peer forwarding.
@@ -685,6 +693,18 @@ func (p *Protocol) onHealthUpdate(m *wire.HealthUpdate, forwarded bool) {
 			p.host.Trace(trace.TypeFalseDetect, "self listed as failed")
 		}
 	}
+}
+
+// storeUpdate deep-copies a delivered health update into the protocol's
+// persistent buffer and returns a pointer to it. See updateStore for why a
+// delivered message cannot be retained directly.
+func (p *Protocol) storeUpdate(m *wire.HealthUpdate) *wire.HealthUpdate {
+	st := &p.updateStore
+	st.From, st.CH, st.Epoch, st.Takeover = m.From, m.CH, m.Epoch, m.Takeover
+	st.NewFailed = append(st.NewFailed[:0], m.NewFailed...)
+	st.AllFailed = append(st.AllFailed[:0], m.AllFailed...)
+	st.Rescinded = append(st.Rescinded[:0], m.Rescinded...)
+	return st
 }
 
 // onForwardRequest implements the responder side of energy-balanced peer

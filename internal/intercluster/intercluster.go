@@ -211,17 +211,25 @@ func reportFromUpdate(up *wire.HealthUpdate) wire.FailureReport {
 		OriginCH:  up.From,
 		Seq:       uint64(up.Epoch),
 		Epoch:     up.Epoch,
-		NewFailed: append([]wire.NodeID(nil), up.NewFailed...),
-		AllFailed: append([]wire.NodeID(nil), up.AllFailed...),
-		Rescinded: append([]wire.Rescission(nil), up.Rescinded...),
+		NewFailed: up.NewFailed,
+		AllFailed: up.AllFailed,
+		Rescinded: up.Rescinded,
 	}
 }
 
+// getState returns the tracked state for report key k, creating it from
+// content on first sight. Creation deep-copies content's slices: content
+// usually derives from a delivered message (or a health update aliasing the
+// FDS's reusable buffer), whose slices are only valid during the current
+// handler, while reportState lives for many epochs of retransmission.
 func (p *Protocol) getState(k key, content wire.FailureReport) *reportState {
 	st, ok := p.reports[k]
 	if !ok {
 		content.Sender = wire.NoNode
 		content.TargetCH = wire.NoNode
+		content.NewFailed = append([]wire.NodeID(nil), content.NewFailed...)
+		content.AllFailed = append([]wire.NodeID(nil), content.AllFailed...)
+		content.Rescinded = append([]wire.Rescission(nil), content.Rescinded...)
 		st = &reportState{
 			content: content,
 			senders: make(map[wire.NodeID]bool),

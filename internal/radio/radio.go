@@ -112,12 +112,44 @@ type Medium struct {
 	// tracing is false when sink is the no-op sink, letting the hot paths
 	// skip building event detail strings nobody will read.
 	tracing bool
-	// nearScratch and encScratch are per-medium reusable buffers for the
-	// broadcast fast path. The kernel is single-threaded, and neither
-	// buffer is ever held across a scheduled callback, so plain reuse is
-	// safe.
+	// nearScratch is Send's reusable neighbor-query buffer. The kernel is
+	// single-threaded and the buffer is never held across a scheduled
+	// callback, so plain reuse is safe.
 	nearScratch []wire.NodeID
-	encScratch  []byte
+
+	// scratch holds one decode workspace per attached receiver. Each
+	// delivery decodes the transmission into the receiver's own scratch, so
+	// no state is ever shared between hosts (transmission cannot alias
+	// memory, paper Section 2.2) and steady-state delivery allocates
+	// nothing. The message handed to Deliver is valid only for the duration
+	// of the call; receivers that keep any part of it must copy.
+	scratch map[wire.NodeID]*wire.DecodeScratch
+
+	// txFree and delFree pool the per-transmission encode buffers and the
+	// per-receiver delivery records between broadcasts; deliverFn is the
+	// shared ScheduleArg handler, resolved once so scheduling a delivery
+	// allocates neither a closure nor an interface box.
+	txFree    []*txBuf
+	delFree   []*delivery
+	deliverFn sim.ArgHandler
+}
+
+// txBuf is one transmission's encoded bytes, shared by every in-flight
+// delivery of that transmission and returned to the medium's pool when the
+// last delivery has run.
+type txBuf struct {
+	buf  []byte
+	refs int
+}
+
+// delivery carries one receiver's pending reception through the kernel.
+type delivery struct {
+	tb   *txBuf
+	rcv  Receiver
+	to   wire.NodeID
+	from wire.NodeID
+	rxc  *metrics.Counter
+	size int
 }
 
 // kind-tagged counter labels, precomputed so Send/deliver do not
@@ -176,7 +208,9 @@ func New(kernel *sim.Kernel, params Params, opts ...Option) *Medium {
 		linkLoss: make(map[[2]wire.NodeID]float64),
 		silenced: make(map[wire.NodeID]bool),
 		energy:   make(map[wire.NodeID]*energyMeter),
+		scratch:  make(map[wire.NodeID]*wire.DecodeScratch),
 	}
+	m.deliverFn = m.deliverEvent
 	for _, opt := range opts {
 		opt(m)
 	}
@@ -231,6 +265,7 @@ func (m *Medium) Attach(r Receiver) {
 	m.nodes[id] = r
 	m.grid.insert(id, r.Pos())
 	m.energy[id] = &energyMeter{}
+	m.scratch[id] = wire.NewDecodeScratch()
 }
 
 // UpdatePos tells the medium a host moved. (The paper defers migration to
@@ -335,12 +370,13 @@ func (m *Medium) Send(from wire.NodeID, msg wire.Message) {
 	m.txCounter(msg.Kind()).Add(1)
 	m.txBytes.Add(int64(size))
 
-	// Encode once into a reusable scratch buffer, then give each surviving
-	// receiver an independent decode at scheduling time so no state is
-	// shared between hosts (transmission cannot alias memory) and the
-	// scratch is free again the moment Send returns.
-	m.encScratch = wire.EncodeAppend(m.encScratch[:0], msg)
-	encoded := m.encScratch
+	// Encode once into a pooled, reference-counted buffer shared by every
+	// in-flight delivery of this transmission. Each delivery decodes the
+	// bytes at reception time into the receiver's own scratch, so hosts
+	// never share message memory and the whole path — encode, schedule,
+	// decode, dispatch — reuses pooled storage in steady state.
+	tb := m.takeTxBuf()
+	tb.buf = wire.EncodeAppend(tb.buf[:0], msg)
 	rxc := m.rxCounter(msg.Kind()) // resolved once; deliveries share the handle
 	origin := sender.Pos()
 	rng := m.kernel.Rand()
@@ -371,29 +407,66 @@ func (m *Medium) Send(from wire.NodeID, msg wire.Message) {
 		if span := m.params.MaxDelay - m.params.MinDelay; span > 0 {
 			delay += sim.Time(rng.Int63n(int64(span) + 1))
 		}
-		decoded, err := wire.Decode(encoded)
+		d := m.takeDelivery()
+		d.tb, d.rcv, d.to, d.from, d.rxc, d.size = tb, rcv, id, from, rxc, size
+		tb.refs++
+		m.kernel.ScheduleArg(delay, m.deliverFn, d)
+	}
+	if tb.refs == 0 {
+		// Nobody survived the loss draws; recycle the buffer immediately.
+		m.txFree = append(m.txFree, tb)
+	}
+}
+
+// deliverEvent completes one scheduled delivery: charge, count, decode into
+// the receiver's scratch, dispatch, and recycle the pooled records. The
+// decoded message is valid only during the Deliver call (see Medium.scratch).
+func (m *Medium) deliverEvent(arg any) {
+	d := arg.(*delivery)
+	if d.rcv.Operational() {
+		m.chargeRx(d.to, d.size)
+		d.rxc.Add(1)
+		decoded, err := wire.DecodeInto(m.scratch[d.to], d.tb.buf)
 		if err != nil {
 			// The medium never corrupts messages (paper Section 2.2);
 			// a decode failure is a codec bug.
 			panic(fmt.Sprintf("radio: decode for delivery: %v", err))
 		}
-		id := id
-		m.kernel.Schedule(delay, func() {
-			if !rcv.Operational() {
-				m.dropRxDown.Add(1)
-				return
-			}
-			m.chargeRx(id, size)
-			rxc.Add(1)
-			if m.tracing {
-				m.sink.Emit(trace.Event{
-					At: m.kernel.Now(), Type: trace.TypeDeliver, Node: uint32(id),
-					Detail: fmt.Sprintf("%s from %v", decoded.Kind(), from),
-				})
-			}
-			rcv.Deliver(decoded, from)
-		})
+		if m.tracing {
+			m.sink.Emit(trace.Event{
+				At: m.kernel.Now(), Type: trace.TypeDeliver, Node: uint32(d.to),
+				Detail: fmt.Sprintf("%s from %v", decoded.Kind(), d.from),
+			})
+		}
+		d.rcv.Deliver(decoded, d.from)
+	} else {
+		m.dropRxDown.Add(1)
 	}
+	if d.tb.refs--; d.tb.refs == 0 {
+		m.txFree = append(m.txFree, d.tb)
+	}
+	d.tb, d.rcv, d.rxc = nil, nil, nil
+	m.delFree = append(m.delFree, d)
+}
+
+// takeTxBuf pops a pooled transmission buffer or makes one.
+func (m *Medium) takeTxBuf() *txBuf {
+	if n := len(m.txFree); n > 0 {
+		tb := m.txFree[n-1]
+		m.txFree = m.txFree[:n-1]
+		return tb
+	}
+	return &txBuf{}
+}
+
+// takeDelivery pops a pooled delivery record or makes one.
+func (m *Medium) takeDelivery() *delivery {
+	if n := len(m.delFree); n > 0 {
+		d := m.delFree[n-1]
+		m.delFree = m.delFree[:n-1]
+		return d
+	}
+	return &delivery{}
 }
 
 // chargeTx debits transmission energy.

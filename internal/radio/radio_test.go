@@ -29,7 +29,10 @@ func (s *stubNode) ID() wire.NodeID   { return s.id }
 func (s *stubNode) Pos() geo.Point    { return s.pos }
 func (s *stubNode) Operational() bool { return !s.crashed }
 func (s *stubNode) Deliver(m wire.Message, from wire.NodeID) {
-	s.received = append(s.received, receivedMsg{msg: m, from: from})
+	// Per the medium's delivery contract the message is backed by this
+	// receiver's decode scratch and valid only during the call; a recorder
+	// that keeps history must clone.
+	s.received = append(s.received, receivedMsg{msg: wire.Clone(m), from: from})
 }
 
 // lossless returns params with zero loss and fixed delay for deterministic

@@ -42,7 +42,7 @@ func Decode(b []byte) (Message, error) {
 	if m == nil {
 		return nil, fmt.Errorf("%w: %d", ErrUnknownKind, b[0])
 	}
-	rest, err := m.decode(b[1:])
+	rest, err := m.decode(b[1:], nil)
 	if err != nil {
 		return nil, fmt.Errorf("wire: decoding %v: %w", kind, err)
 	}
@@ -165,7 +165,7 @@ func readBool(b []byte) (bool, []byte, error) {
 	return b[0] != 0, b[1:], nil
 }
 
-func readIDs(b []byte) ([]NodeID, []byte, error) {
+func readIDs(b []byte, s *DecodeScratch) ([]NodeID, []byte, error) {
 	n, b, err := readU16(b)
 	if err != nil {
 		return nil, nil, err
@@ -176,7 +176,12 @@ func readIDs(b []byte) ([]NodeID, []byte, error) {
 	if len(b) < int(n)*4 {
 		return nil, nil, errShort
 	}
-	ids := make([]NodeID, n)
+	var ids []NodeID
+	if s != nil {
+		ids = s.ids.take(int(n))
+	} else {
+		ids = make([]NodeID, n)
+	}
 	for i := range ids {
 		var u uint32
 		u, b, _ = readU32(b)

@@ -122,7 +122,7 @@ func appendRescissions(b []byte, rs []Rescission) []byte {
 	return b
 }
 
-func readRescissions(b []byte) ([]Rescission, []byte, error) {
+func readRescissions(b []byte, s *DecodeScratch) ([]Rescission, []byte, error) {
 	n, b, err := readU16(b)
 	if err != nil {
 		return nil, nil, err
@@ -133,7 +133,12 @@ func readRescissions(b []byte) ([]Rescission, []byte, error) {
 	if len(b) < int(n)*12 {
 		return nil, nil, errShort
 	}
-	rs := make([]Rescission, n)
+	var rs []Rescission
+	if s != nil {
+		rs = s.rescissions.take(int(n))
+	} else {
+		rs = make([]Rescission, n)
+	}
 	for i := range rs {
 		var u32 uint32
 		var u64 uint64
@@ -154,8 +159,11 @@ type Message interface {
 	WireSize() int
 	// append encodes the body (everything after the kind byte) onto b.
 	append(b []byte) []byte
-	// decode parses the body from b, returning the remaining bytes.
-	decode(b []byte) ([]byte, error)
+	// decode parses the body from b, returning the remaining bytes. When s
+	// is non-nil, variable-length fields are carved from s's arenas instead
+	// of freshly allocated; the decoded message then aliases s and is valid
+	// only until s's next DecodeInto call.
+	decode(b []byte, s *DecodeScratch) ([]byte, error)
 }
 
 // --- FDS round 1: heartbeat exchange -----------------------------------
@@ -182,7 +190,7 @@ func (m *Heartbeat) append(b []byte) []byte {
 	return appendBool(b, m.Marked)
 }
 
-func (m *Heartbeat) decode(b []byte) ([]byte, error) {
+func (m *Heartbeat) decode(b []byte, s *DecodeScratch) ([]byte, error) {
 	var u32 uint32
 	var u64 uint64
 	var err error
@@ -237,7 +245,7 @@ func (m *Digest) append(b []byte) []byte {
 	return appendU64(b, math.Float64bits(m.Reading))
 }
 
-func (m *Digest) decode(b []byte) ([]byte, error) {
+func (m *Digest) decode(b []byte, s *DecodeScratch) ([]byte, error) {
 	var u32 uint32
 	var u64 uint64
 	var err error
@@ -253,7 +261,7 @@ func (m *Digest) decode(b []byte) ([]byte, error) {
 		return nil, err
 	}
 	m.Epoch = Epoch(u64)
-	if m.Heard, b, err = readIDs(b); err != nil {
+	if m.Heard, b, err = readIDs(b, s); err != nil {
 		return nil, err
 	}
 	if m.HasReading, b, err = readBool(b); err != nil {
@@ -305,7 +313,7 @@ func (m *HealthUpdate) append(b []byte) []byte {
 	return appendBool(b, m.Takeover)
 }
 
-func (m *HealthUpdate) decode(b []byte) ([]byte, error) {
+func (m *HealthUpdate) decode(b []byte, s *DecodeScratch) ([]byte, error) {
 	var u32 uint32
 	var u64 uint64
 	var err error
@@ -321,13 +329,13 @@ func (m *HealthUpdate) decode(b []byte) ([]byte, error) {
 		return nil, err
 	}
 	m.Epoch = Epoch(u64)
-	if m.NewFailed, b, err = readIDs(b); err != nil {
+	if m.NewFailed, b, err = readIDs(b, s); err != nil {
 		return nil, err
 	}
-	if m.AllFailed, b, err = readIDs(b); err != nil {
+	if m.AllFailed, b, err = readIDs(b, s); err != nil {
 		return nil, err
 	}
-	if m.Rescinded, b, err = readRescissions(b); err != nil {
+	if m.Rescinded, b, err = readRescissions(b, s); err != nil {
 		return nil, err
 	}
 	if m.Takeover, b, err = readBool(b); err != nil {
@@ -357,7 +365,7 @@ func (m *ForwardRequest) append(b []byte) []byte {
 	return appendU64(b, uint64(m.Epoch))
 }
 
-func (m *ForwardRequest) decode(b []byte) ([]byte, error) {
+func (m *ForwardRequest) decode(b []byte, s *DecodeScratch) ([]byte, error) {
 	var u32 uint32
 	var u64 uint64
 	var err error
@@ -393,7 +401,7 @@ func (m *ForwardedUpdate) append(b []byte) []byte {
 	return m.Update.append(b)
 }
 
-func (m *ForwardedUpdate) decode(b []byte) ([]byte, error) {
+func (m *ForwardedUpdate) decode(b []byte, s *DecodeScratch) ([]byte, error) {
 	var u32 uint32
 	var err error
 	if u32, b, err = readU32(b); err != nil {
@@ -404,7 +412,7 @@ func (m *ForwardedUpdate) decode(b []byte) ([]byte, error) {
 		return nil, err
 	}
 	m.Requester = NodeID(u32)
-	return m.Update.decode(b)
+	return m.Update.decode(b, s)
 }
 
 // ForwardAck is the requester's acknowledgment of a ForwardedUpdate; peers
@@ -425,7 +433,7 @@ func (m *ForwardAck) append(b []byte) []byte {
 	return appendU64(b, uint64(m.Epoch))
 }
 
-func (m *ForwardAck) decode(b []byte) ([]byte, error) {
+func (m *ForwardAck) decode(b []byte, s *DecodeScratch) ([]byte, error) {
 	var u32 uint32
 	var u64 uint64
 	var err error
@@ -481,7 +489,7 @@ func (m *FailureReport) append(b []byte) []byte {
 	return appendU32(b, uint32(m.TargetCH))
 }
 
-func (m *FailureReport) decode(b []byte) ([]byte, error) {
+func (m *FailureReport) decode(b []byte, s *DecodeScratch) ([]byte, error) {
 	var u32 uint32
 	var u64 uint64
 	var err error
@@ -497,13 +505,13 @@ func (m *FailureReport) decode(b []byte) ([]byte, error) {
 		return nil, err
 	}
 	m.Epoch = Epoch(u64)
-	if m.NewFailed, b, err = readIDs(b); err != nil {
+	if m.NewFailed, b, err = readIDs(b, s); err != nil {
 		return nil, err
 	}
-	if m.AllFailed, b, err = readIDs(b); err != nil {
+	if m.AllFailed, b, err = readIDs(b, s); err != nil {
 		return nil, err
 	}
-	if m.Rescinded, b, err = readRescissions(b); err != nil {
+	if m.Rescinded, b, err = readRescissions(b, s); err != nil {
 		return nil, err
 	}
 	if u32, b, err = readU32(b); err != nil {
@@ -538,7 +546,7 @@ func (m *CHDeclare) append(b []byte) []byte {
 	return appendU32(b, m.Iteration)
 }
 
-func (m *CHDeclare) decode(b []byte) ([]byte, error) {
+func (m *CHDeclare) decode(b []byte, s *DecodeScratch) ([]byte, error) {
 	var u32 uint32
 	var err error
 	if u32, b, err = readU32(b); err != nil {
@@ -576,7 +584,7 @@ func (m *ClusterAnnounce) append(b []byte) []byte {
 	return appendIDs(b, m.DCHs)
 }
 
-func (m *ClusterAnnounce) decode(b []byte) ([]byte, error) {
+func (m *ClusterAnnounce) decode(b []byte, s *DecodeScratch) ([]byte, error) {
 	var u32 uint32
 	var u64 uint64
 	var err error
@@ -588,10 +596,10 @@ func (m *ClusterAnnounce) decode(b []byte) ([]byte, error) {
 		return nil, err
 	}
 	m.Epoch = Epoch(u64)
-	if m.Members, b, err = readIDs(b); err != nil {
+	if m.Members, b, err = readIDs(b, s); err != nil {
 		return nil, err
 	}
-	if m.DCHs, b, err = readIDs(b); err != nil {
+	if m.DCHs, b, err = readIDs(b, s); err != nil {
 		return nil, err
 	}
 	return b, nil
@@ -619,7 +627,7 @@ func (m *GWRegister) append(b []byte) []byte {
 	return appendIDs(b, m.OtherCHs)
 }
 
-func (m *GWRegister) decode(b []byte) ([]byte, error) {
+func (m *GWRegister) decode(b []byte, s *DecodeScratch) ([]byte, error) {
 	var u32 uint32
 	var err error
 	if u32, b, err = readU32(b); err != nil {
@@ -630,7 +638,7 @@ func (m *GWRegister) decode(b []byte) ([]byte, error) {
 		return nil, err
 	}
 	m.AffiliateCH = NodeID(u32)
-	if m.OtherCHs, b, err = readIDs(b); err != nil {
+	if m.OtherCHs, b, err = readIDs(b, s); err != nil {
 		return nil, err
 	}
 	return b, nil
@@ -671,7 +679,7 @@ func (m *Gossip) append(b []byte) []byte {
 	return b
 }
 
-func (m *Gossip) decode(b []byte) ([]byte, error) {
+func (m *Gossip) decode(b []byte, s *DecodeScratch) ([]byte, error) {
 	var u16 uint16
 	var u32 uint32
 	var u64 uint64
@@ -683,7 +691,14 @@ func (m *Gossip) decode(b []byte) ([]byte, error) {
 	if u16, b, err = readU16(b); err != nil {
 		return nil, err
 	}
-	m.Entries = make([]GossipEntry, u16)
+	if len(b) < int(u16)*12 {
+		return nil, errShort
+	}
+	if s != nil {
+		m.Entries = s.entries.take(int(u16))
+	} else {
+		m.Entries = make([]GossipEntry, u16)
+	}
 	for i := range m.Entries {
 		if u32, b, err = readU32(b); err != nil {
 			return nil, err
@@ -719,7 +734,7 @@ func (m *FloodHeartbeat) append(b []byte) []byte {
 	return appendU32(b, uint32(m.Relay))
 }
 
-func (m *FloodHeartbeat) decode(b []byte) ([]byte, error) {
+func (m *FloodHeartbeat) decode(b []byte, s *DecodeScratch) ([]byte, error) {
 	var u32 uint32
 	var u64 uint64
 	var err error
@@ -775,7 +790,7 @@ func (m *Aggregate) append(b []byte) []byte {
 	return appendU32(b, uint32(m.Sender))
 }
 
-func (m *Aggregate) decode(b []byte) ([]byte, error) {
+func (m *Aggregate) decode(b []byte, s *DecodeScratch) ([]byte, error) {
 	var u32 uint32
 	var u64 uint64
 	var err error
@@ -833,7 +848,7 @@ func (m *SleepNotice) append(b []byte) []byte {
 	return appendU64(b, uint64(m.Until))
 }
 
-func (m *SleepNotice) decode(b []byte) ([]byte, error) {
+func (m *SleepNotice) decode(b []byte, s *DecodeScratch) ([]byte, error) {
 	var u32 uint32
 	var u64 uint64
 	var err error

@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check vet build test race benchsmoke bench fmt
+.PHONY: check vet build test race benchsmoke benchcmp bench fmt
 
 ## check: the pre-PR gate. Run this before sending any change for review.
-check: vet build test race benchsmoke
+check: vet build test race benchsmoke benchcmp
 	@echo "check: all gates passed"
 
 vet:
@@ -25,6 +25,15 @@ race:
 ## that the benchmarks still compile and run.
 benchsmoke:
 	$(GO) test -run '^$$' -bench 'MonteCarlo' -benchtime 1x -benchmem .
+
+## benchcmp: the allocation-regression gate. Runs the alloc-sensitive
+## benchmarks (FDSEpoch, RadioBroadcast, Codec) and fails if any allocs/op
+## figure regresses more than 10% against the committed baseline
+## (bench_baseline.json). When an optimization lowers a count, tighten the
+## baseline in the same PR so the gate keeps biting.
+benchcmp:
+	$(GO) test -run '^$$' -bench 'BenchmarkFDSEpoch$$|BenchmarkRadioBroadcast$$|BenchmarkCodec$$' \
+		-benchtime 20x -benchmem . | $(GO) run ./cmd/benchcmp -baseline bench_baseline.json
 
 ## bench: the full evaluation harness (slow; regenerates every figure).
 bench:

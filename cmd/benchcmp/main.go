@@ -1,0 +1,111 @@
+// Command benchcmp is the allocation-regression gate: it reads `go test
+// -bench -benchmem` output on stdin, extracts allocs/op for each benchmark,
+// and compares them against a committed baseline JSON. Any benchmark whose
+// allocs/op exceeds its baseline by more than the tolerance fails the gate,
+// as does a baseline benchmark missing from the input (a renamed or deleted
+// benchmark must be renamed in the baseline too, deliberately).
+//
+// Usage:
+//
+//	go test -run '^$' -bench '...' -benchmem . | benchcmp -baseline bench_baseline.json
+//
+// The baseline maps bare benchmark names (no -cpu suffix) to allocs/op:
+//
+//	{"BenchmarkFDSEpoch": 35620, "BenchmarkCodec": 3}
+//
+// Allocation counts at a fixed -benchtime are deterministic for this
+// repository's benchmarks (single-threaded simulation, fixed seeds), so the
+// default tolerance of 10% only absorbs incidental variation from runtime
+// internals across Go releases, not real regressions. When an optimization
+// lowers a count, benchcmp says so; tighten the baseline in the same PR.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// benchLine matches one -benchmem result line and captures the bare name
+// (without the -GOMAXPROCS suffix) and the allocs/op figure.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+.*?([\d.]+)\s+allocs/op`)
+
+func main() {
+	baselinePath := flag.String("baseline", "bench_baseline.json", "committed baseline JSON (name -> allocs/op)")
+	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional increase over baseline")
+	flag.Parse()
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
+		os.Exit(2)
+	}
+	var baseline map[string]float64
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcmp: parsing %s: %v\n", *baselinePath, err)
+		os.Exit(2)
+	}
+	if len(baseline) == 0 {
+		fmt.Fprintf(os.Stderr, "benchcmp: %s contains no benchmarks\n", *baselinePath)
+		os.Exit(2)
+	}
+
+	got := make(map[string]float64)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass the raw results through for the log
+		mm := benchLine.FindStringSubmatch(line)
+		if mm == nil {
+			continue
+		}
+		v, err := strconv.ParseFloat(mm[2], 64)
+		if err != nil {
+			continue
+		}
+		got[mm[1]] = v
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcmp: reading stdin: %v\n", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(baseline))
+	for name := range baseline {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := false
+	for _, name := range names {
+		base := baseline[name]
+		cur, ok := got[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchcmp: FAIL %s: missing from benchmark output\n", name)
+			failed = true
+			continue
+		}
+		limit := base * (1 + *tolerance)
+		switch {
+		case cur > limit:
+			fmt.Fprintf(os.Stderr, "benchcmp: FAIL %s: %.0f allocs/op > %.0f (baseline %.0f +%.0f%%)\n",
+				name, cur, limit, base, *tolerance*100)
+			failed = true
+		case cur < base:
+			fmt.Printf("benchcmp: ok   %s: %.0f allocs/op (improved from %.0f — consider tightening the baseline)\n",
+				name, cur, base)
+		default:
+			fmt.Printf("benchcmp: ok   %s: %.0f allocs/op (baseline %.0f)\n", name, cur, base)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Println("benchcmp: all allocation gates passed")
+}

@@ -12,6 +12,11 @@
 //	      [-metrics out.json] [-metrics-csv out.csv]
 //	      [-no-peer-forwarding] [-no-bgw] [-no-implicit-acks]
 //	      [-aggregate] [-sleep] [-naive-sleep]
+//	      [-cpuprofile cpu.out] [-memprofile mem.out]
+//
+// -cpuprofile and -memprofile write pprof profiles covering the whole run
+// (the heap profile is taken at exit, after a final GC); see EXPERIMENTS.md
+// § "Profiling the epoch hot loop" for how to read them.
 //
 // With -trials 1 (the default) fdsim runs and reports one simulation
 // exactly as it always has. With -trials T > 1 it fans T independent,
@@ -32,6 +37,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"time"
 
@@ -63,7 +69,43 @@ func main() {
 	withAgg := flag.Bool("aggregate", false, "attach the in-network aggregation service")
 	withSleep := flag.Bool("sleep", false, "attach announced radio duty cycling")
 	naiveSleep := flag.Bool("naive-sleep", false, "duty cycling WITHOUT sleep notices (the paper's hazard)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile (taken at exit) to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fdsim: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "fdsim: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "fdsim: cpuprofile: %v\n", err)
+			}
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fdsim: memprofile: %v\n", err)
+				return
+			}
+			runtime.GC() // settle: profile live objects, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "fdsim: memprofile: %v\n", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "fdsim: memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	var stack scenario.Stack
 	switch *stackName {

@@ -214,15 +214,15 @@ func New(cfg Config, cl *cluster.Protocol) *Protocol {
 	}
 	r := cfg.Metrics // nil registry yields nil (no-op) handles
 	return &Protocol{
-		cfg:     cfg,
-		cluster: cl,
-		mDetect: r.Series("detections"),
-		mFalse:        r.Series("false-detections"),
-		mRescind:      r.Series("rescissions"),
-		mFwdReq:       r.Series("forward-requests"),
-		mFwdAns:       r.Series("forward-answers"),
-		mOrphan:       r.Series("orphan-events"),
-		mUpdLat:       r.Histogram("update-delivery-s", updateLatencyBounds),
+		cfg:      cfg,
+		cluster:  cl,
+		mDetect:  r.Series("detections"),
+		mFalse:   r.Series("false-detections"),
+		mRescind: r.Series("rescissions"),
+		mFwdReq:  r.Series("forward-requests"),
+		mFwdAns:  r.Series("forward-answers"),
+		mOrphan:  r.Series("orphan-events"),
+		mUpdLat:  r.Histogram("update-delivery-s", updateLatencyBounds),
 	}
 }
 

@@ -58,10 +58,10 @@ func TestDecodeIntoErrorsMatchDecode(t *testing.T) {
 	bad := [][]byte{
 		nil,
 		{},
-		{0},                  // zero kind byte
-		{byte(kindEnd)},      // one past the last kind
-		{200},                // far out of range
-		{byte(KindDigest)},   // empty body
+		{0},                // zero kind byte
+		{byte(kindEnd)},    // one past the last kind
+		{200},              // far out of range
+		{byte(KindDigest)}, // empty body
 		{byte(KindDigest), 1},
 	}
 	for _, m := range sampleMessages() {

@@ -1,13 +1,27 @@
 GO ?= go
 
-.PHONY: check vet build test race benchsmoke benchcmp bench fmt
+.PHONY: check vet lint fmt-check build test race benchsmoke benchcmp bench fmt
 
 ## check: the pre-PR gate. Run this before sending any change for review.
-check: vet build test race benchsmoke benchcmp
+check: vet lint fmt-check build test race benchsmoke benchcmp
 	@echo "check: all gates passed"
 
 vet:
 	$(GO) vet ./...
+
+## lint: the repo's own analyzers (cmd/fdslint) — walltime, detmap,
+## deliverretain, scratchalias — which machine-check the simulator's
+## determinism and message-lifetime invariants. Runs through `go vet
+## -vettool`, so package loading, caching, and diagnostics follow vet
+## conventions. See DESIGN.md "Determinism & lifetime invariants".
+lint:
+	$(GO) build -o bin/fdslint ./cmd/fdslint
+	$(GO) vet -vettool=bin/fdslint ./...
+
+## fmt-check: fails (listing the offenders) if any file is not gofmt-clean.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 build:
 	$(GO) build ./...
@@ -15,10 +29,10 @@ build:
 test:
 	$(GO) test ./...
 
-## race: the concurrency-sensitive packages (the replication engine and
-## everything ported onto it) under the race detector.
+## race: the full tree under the race detector (kept affordable with
+## -count=1; the heavy evaluation benchmarks are excluded by -run).
 race:
-	$(GO) test -race ./internal/replicate/ ./internal/montecarlo/
+	$(GO) test -race -count=1 ./...
 
 ## benchsmoke: one iteration of the serial/parallel Monte-Carlo benchmark
 ## pair — verifies the parallel path produces the same empirical rate and

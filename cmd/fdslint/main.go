@@ -1,0 +1,260 @@
+// Command fdslint runs the repository's determinism and message-lifetime
+// analyzers (internal/lint/...) over Go packages.
+//
+// It speaks the `go vet -vettool` unit-checker protocol, so the canonical
+// invocation delegates all package loading to the go command:
+//
+//	go vet -vettool=$(which fdslint) ./...
+//
+// For convenience it also accepts package patterns directly and re-execs
+// go vet with itself as the vettool:
+//
+//	fdslint ./...
+//
+// The protocol has three entry points, matching x/tools' unitchecker:
+//
+//   - fdslint -V=full          print a version/buildID handshake line
+//   - fdslint -flags           print the supported flags as JSON (none)
+//   - fdslint <file>.cfg       analyze one package described by a JSON
+//     config written by the go command
+//
+// Diagnostics are printed as file:line:col: message [analyzer]; the exit
+// status is 2 when any diagnostic is reported, matching vet convention.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"clusterfds/internal/lint"
+	"clusterfds/internal/lint/deliverretain"
+	"clusterfds/internal/lint/detmap"
+	"clusterfds/internal/lint/scratchalias"
+	"clusterfds/internal/lint/walltime"
+)
+
+// analyzers is the full suite, in reporting order.
+var analyzers = []*lint.Analyzer{
+	walltime.Analyzer,
+	detmap.Analyzer,
+	deliverretain.Analyzer,
+	scratchalias.Analyzer,
+}
+
+func main() {
+	args := os.Args[1:]
+
+	// go vet handshake: version and flag discovery.
+	for _, a := range args {
+		switch a {
+		case "-V=full", "--V=full":
+			printVersion()
+			return
+		case "-flags", "--flags":
+			// No tool-specific flags; go vet requires valid JSON.
+			fmt.Println("[]")
+			return
+		case "help", "-help", "--help", "-h":
+			usage()
+			return
+		}
+	}
+
+	// Unit-checker mode: a single *.cfg argument from the go command.
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runUnit(args[0]))
+	}
+
+	// Standalone mode: delegate package loading to go vet, with this
+	// binary as the vettool.
+	os.Exit(runStandalone(args))
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: fdslint [package pattern...]\n")
+	fmt.Fprintf(os.Stderr, "       go vet -vettool=$(which fdslint) [package pattern...]\n\n")
+	fmt.Fprintf(os.Stderr, "Registered analyzers:\n\n")
+	for _, a := range analyzers {
+		doc := a.Doc
+		if i := strings.IndexByte(doc, '\n'); i >= 0 {
+			doc = doc[:i]
+		}
+		fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, doc)
+	}
+	fmt.Fprintf(os.Stderr, "\nSuppression: //lint:allow <analyzer> -- <justification>\n")
+}
+
+// printVersion emits the -V=full line the go command uses to fingerprint a
+// vettool for build caching. The content hash of the executable stands in
+// for a real build ID; any change to the binary invalidates cached results.
+func printVersion() {
+	name := filepath.Base(os.Args[0])
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Printf("%s version devel\n", name)
+		return
+	}
+	data, err := os.ReadFile(exe)
+	if err != nil {
+		fmt.Printf("%s version devel\n", name)
+		return
+	}
+	sum := sha256.Sum256(data)
+	fmt.Printf("%s version devel buildID=%x\n", name, sum)
+}
+
+// runStandalone re-invokes go vet with this executable as the vettool.
+func runStandalone(args []string) int {
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fdslint: cannot locate own executable: %v\n", err)
+		return 1
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, args...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintf(os.Stderr, "fdslint: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// config mirrors the JSON schema the go command writes for a vettool, one
+// file per package (see x/tools go/analysis/unitchecker).
+type config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// runUnit analyzes the single package described by cfgPath and returns the
+// process exit code.
+func runUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fdslint: %v\n", err)
+		return 1
+	}
+	cfg := new(config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "fdslint: cannot decode JSON config file %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// fdslint exports no facts, so the vetx output is always empty; write
+	// it first so the go command can cache even a VetxOnly run.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "fdslint: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	unit, err := typecheck(cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "fdslint: %v\n", err)
+		return 1
+	}
+
+	exit := 0
+	for _, a := range analyzers {
+		diags, err := lint.Run(a, unit)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fdslint: %s: %v\n", a.Name, err)
+			return 1
+		}
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", unit.Fset.Position(d.Pos), d.Message, a.Name)
+			exit = 2
+		}
+	}
+	return exit
+}
+
+// typecheck parses and type-checks the package described by cfg, resolving
+// imports through the export data files the go command already built.
+func typecheck(cfg *config) (*lint.Unit, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		// Path is a resolved package path, not an import path.
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImporter.Import(path)
+	})
+
+	tc := &types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor(cfg.Compiler, runtime.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := lint.NewInfo()
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &lint.Unit{Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
+}

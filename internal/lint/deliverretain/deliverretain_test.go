@@ -1,0 +1,14 @@
+package deliverretain_test
+
+import (
+	"testing"
+
+	"clusterfds/internal/lint/deliverretain"
+	"clusterfds/internal/lint/lintest"
+)
+
+func TestDeliverRetain(t *testing.T) {
+	lintest.Run(t, "testdata", deliverretain.Analyzer,
+		"clusterfds/internal/fds", // pre-PR-4 bug shapes fire; PR-4 fix shapes don't
+	)
+}

@@ -1,0 +1,15 @@
+package detmap_test
+
+import (
+	"testing"
+
+	"clusterfds/internal/lint/detmap"
+	"clusterfds/internal/lint/lintest"
+)
+
+func TestDetmap(t *testing.T) {
+	lintest.Run(t, "testdata", detmap.Analyzer,
+		"clusterfds/internal/fds",      // firing + non-firing patterns
+		"clusterfds/internal/analysis", // outside the deterministic set: never fires
+	)
+}

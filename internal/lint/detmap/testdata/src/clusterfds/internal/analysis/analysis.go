@@ -1,0 +1,12 @@
+// Package analysis is the non-firing detmap fixture: clusterfds/internal/
+// analysis is not in the deterministic set (it post-processes results), so
+// even blatantly order-dependent ranges are fine here.
+package analysis
+
+func LastKey(m map[uint32]bool) uint32 {
+	var last uint32
+	for k := range m {
+		last = k
+	}
+	return last
+}

@@ -1,0 +1,205 @@
+// Package lintest is the analysistest-style fixture runner for the fdslint
+// analyzers. Fixtures live under <analyzer>/testdata/src/<importpath>/ and
+// annotate lines that must be flagged with trailing comments of the form
+//
+//	x = m // want `regexp`
+//
+// (backquoted or double-quoted Go strings; several per line allowed). Run
+// type-checks the fixture package — resolving imports first against the
+// fixture tree, then against the compiled standard library — runs the
+// analyzer through the framework's suppression filter, and fails the test
+// on any mismatch in either direction.
+package lintest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"clusterfds/internal/lint"
+)
+
+// Run loads each fixture package below dir (conventionally "testdata") and
+// applies the analyzer, comparing diagnostics against // want comments.
+func Run(t *testing.T, dir string, a *lint.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	ld := &loader{
+		root: filepath.Join(dir, "src"),
+		fset: token.NewFileSet(),
+		pkgs: make(map[string]*pkgUnit),
+		std:  importer.Default(),
+	}
+	for _, path := range pkgPaths {
+		path := path
+		t.Run(path, func(t *testing.T) {
+			t.Helper()
+			u, err := ld.load(path)
+			if err != nil {
+				t.Fatalf("loading fixture %s: %v", path, err)
+			}
+			diags, err := lint.Run(a, u.unit())
+			if err != nil {
+				t.Fatalf("running %s on %s: %v", a.Name, path, err)
+			}
+			check(t, ld.fset, u, diags)
+		})
+	}
+}
+
+type pkgUnit struct {
+	fset  *token.FileSet
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+func (u *pkgUnit) unit() *lint.Unit {
+	return &lint.Unit{Fset: u.fset, Files: u.files, Pkg: u.pkg, Info: u.info}
+}
+
+// loader type-checks fixture packages, resolving imports against the
+// fixture tree first and the standard library second.
+type loader struct {
+	root string
+	fset *token.FileSet
+	pkgs map[string]*pkgUnit
+	std  types.Importer
+	src  types.Importer
+}
+
+func (l *loader) load(path string) (*pkgUnit, error) {
+	if u, ok := l.pkgs[path]; ok {
+		return u, nil
+	}
+	dir := filepath.Join(l.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	info := lint.NewInfo()
+	conf := &types.Config{Importer: (*fixtureImporter)(l)}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	u := &pkgUnit{fset: l.fset, files: files, pkg: pkg, info: info}
+	l.pkgs[path] = u
+	return u, nil
+}
+
+type fixtureImporter loader
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	l := (*loader)(fi)
+	if _, err := os.Stat(filepath.Join(l.root, filepath.FromSlash(path))); err == nil {
+		u, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return u.pkg, nil
+	}
+	pkg, err := l.std.Import(path)
+	if err != nil {
+		// Toolchains without pre-compiled stdlib export data: fall back to
+		// type-checking the standard library from source.
+		if l.src == nil {
+			l.src = importer.ForCompiler(l.fset, "source", nil)
+		}
+		return l.src.Import(path)
+	}
+	return pkg, nil
+}
+
+// wantRe extracts the quoted patterns of a // want comment.
+var wantRe = regexp.MustCompile("//\\s*want\\s+((?:(?:`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")\\s*)+)")
+
+var patRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+func check(t *testing.T, fset *token.FileSet, u *pkgUnit, diags []lint.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range u.files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, q := range patRe.FindAllString(m[1], -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", pos, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					wants = append(wants, &expectation{
+						file: pos.Filename, line: pos.Line, re: re, raw: pat,
+					})
+				}
+			}
+		}
+	}
+	sort.SliceStable(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if w.hit || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}

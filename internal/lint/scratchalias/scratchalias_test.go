@@ -1,0 +1,14 @@
+package scratchalias_test
+
+import (
+	"testing"
+
+	"clusterfds/internal/lint/lintest"
+	"clusterfds/internal/lint/scratchalias"
+)
+
+func TestScratchAlias(t *testing.T) {
+	lintest.Run(t, "testdata", scratchalias.Analyzer,
+		"clusterfds/internal/radio",
+	)
+}

@@ -1,0 +1,26 @@
+// Package wire is a fixture stub for the scratch decode API; the analyzer
+// matches DecodeInto by name and import-path suffix.
+package wire
+
+type NodeID uint32
+
+type Kind uint8
+
+type Message interface {
+	MsgKind() Kind
+}
+
+type Heartbeat struct {
+	From      NodeID
+	NewFailed []NodeID
+}
+
+func (*Heartbeat) MsgKind() Kind { return 1 }
+
+type DecodeScratch struct{ ids []NodeID }
+
+// DecodeInto parses b into s; the result is valid only until the next
+// DecodeInto call on the same scratch.
+func DecodeInto(s *DecodeScratch, b []byte) (Message, error) {
+	return &Heartbeat{}, nil
+}

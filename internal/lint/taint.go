@@ -1,0 +1,711 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// TaintEngine is the shared value-retention analysis behind deliverretain
+// and scratchalias. Both invariants have the same shape: some values (a
+// delivered wire message, a scratch-backed decode result) are only valid
+// for a bounded window, so nothing reachable from them may be stored into a
+// location that outlives the window — a struct field behind a pointer, a
+// package variable, an escaping closure, a channel — unless the memory-
+// carrying parts are deep-copied first.
+//
+// The engine walks one function body in source order tracking a tainted
+// object set. It is deliberately a cheap, mostly flow-insensitive analysis
+// with three refinements that the real code in this repository needs:
+//
+//   - field cleansing: assigning a clean value over a memory-carrying field
+//     of a tainted by-value struct local (the intercluster.getState pattern
+//     `content.NewFailed = append([]wire.NodeID(nil), content.NewFailed...)`)
+//     removes that field from the taint, so a fully-copied struct can be
+//     stored freely;
+//   - element copies: `append(dst, src...)` and `copy(dst, src)` copy
+//     elements, so they propagate taint only when the element type itself
+//     retains memory (a []wire.NodeID copy is clean; a [][]byte copy isn't);
+//   - local sinks: stores into by-value locals, fields of by-value locals,
+//     and pointers provably aimed at by-value locals are propagation, not
+//     escapes.
+type TaintEngine struct {
+	Pass *Pass
+
+	// What is the noun used in diagnostics, e.g. "delivered message".
+	What string
+
+	// TaintedCall, if non-nil, reports whether a call's results are tainted
+	// regardless of argument taint (e.g. wire.DecodeInto).
+	TaintedCall func(call *ast.CallExpr) bool
+
+	// ReturnsTaint, if non-nil, reports whether calls to fn yield tainted
+	// results (fed back from a previous fixpoint iteration).
+	ReturnsTaint func(fn *types.Func) bool
+
+	// OnArgTaint, if non-nil, is invoked when a tainted value is passed as
+	// an argument (or receiver) of a statically resolved call, so the
+	// analyzer can propagate taint interprocedurally. It is NOT invoked for
+	// calls the engine already understands (append, copy, delete, len...).
+	OnArgTaint func(callee *types.Func, param *types.Var, arg ast.Expr)
+
+	// Report, if non-nil, receives escape findings. When nil, findings go
+	// to Pass.Reportf.
+	Report func(pos token.Pos, format string, args ...any)
+}
+
+func (e *TaintEngine) reportf(pos token.Pos, format string, args ...any) {
+	if e.Report != nil {
+		e.Report(pos, format, args...)
+		return
+	}
+	e.Pass.Reportf(pos, format, args...)
+}
+
+// funcState is the per-function taint state.
+type funcState struct {
+	e *TaintEngine
+	// tainted objects (params and locals holding window-bounded memory).
+	tainted map[types.Object]bool
+	// cleansed[obj][field] marks memory-carrying fields of a tainted
+	// by-value struct local that were overwritten with clean values.
+	cleansed map[types.Object]map[string]bool
+	// pointee maps a local pointer to the by-value local it provably
+	// addresses (p := &localStruct), so stores through it stay local.
+	pointee map[types.Object]types.Object
+	// returnsTaint records whether any return statement returns taint.
+	returnsTaint bool
+}
+
+// CheckFunc analyzes one function with the given initially-tainted
+// parameters (and/or receiver) and reports escapes. It returns whether the
+// function can return a tainted value to its caller.
+func (e *TaintEngine) CheckFunc(decl *ast.FuncDecl, seed []*types.Var) (returnsTaint bool) {
+	st := &funcState{
+		e:        e,
+		tainted:  make(map[types.Object]bool),
+		cleansed: make(map[types.Object]map[string]bool),
+		pointee:  make(map[types.Object]types.Object),
+	}
+	for _, v := range seed {
+		st.tainted[v] = true
+	}
+	if decl.Body == nil {
+		return false
+	}
+	// Two passes over the body so taint introduced late in a loop body
+	// still reaches uses earlier in the same body; escapes are reported
+	// only on the second pass (reports are deduplicated by position).
+	reported := make(map[token.Pos]bool)
+	st.walkBody(decl.Body, func(pos token.Pos, format string, args ...any) {
+		_ = reported // first pass: propagate only
+	})
+	st.walkBody(decl.Body, func(pos token.Pos, format string, args ...any) {
+		if reported[pos] {
+			return
+		}
+		reported[pos] = true
+		e.reportf(pos, format, args...)
+	})
+	return st.returnsTaint
+}
+
+type reportFn func(pos token.Pos, format string, args ...any)
+
+// walkBody processes the statements of a function body in source order.
+func (s *funcState) walkBody(body *ast.BlockStmt, report reportFn) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			s.assign(n, report)
+			// Still descend: RHS may contain func literals / calls.
+			for _, r := range n.Rhs {
+				s.expr(r, report)
+			}
+			return false
+		case *ast.DeclStmt:
+			if gd, ok := n.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for i, name := range vs.Names {
+						if i < len(vs.Values) && s.taintedExpr(vs.Values[i]) {
+							if obj := s.e.Pass.TypesInfo.Defs[name]; obj != nil {
+								s.tainted[obj] = true
+							}
+						}
+					}
+					for _, v := range vs.Values {
+						s.expr(v, report)
+					}
+				}
+			}
+			return false
+		case *ast.SendStmt:
+			if s.taintedExpr(n.Value) {
+				report(n.Value.Pos(), "%s (or memory reachable from it) sent on a channel; it is only valid during the call — copy it first", s.e.What)
+			}
+			s.expr(n.Value, report)
+			return false
+		case *ast.GoStmt:
+			s.callArgs(n.Call, report, true)
+			return false
+		case *ast.DeferStmt:
+			// A deferred call still runs before the function returns, so
+			// the window is respected; treat like a synchronous call.
+			s.callArgs(n.Call, report, false)
+			return false
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if s.taintedExpr(r) {
+					s.returnsTaint = true
+				}
+				s.expr(r, report)
+			}
+			return false
+		case *ast.TypeSwitchStmt:
+			// switch msg := m.(type): each case clause binds its own
+			// implicit object; taint the memory-carrying ones.
+			var subject ast.Expr
+			switch a := n.Assign.(type) {
+			case *ast.AssignStmt:
+				if len(a.Rhs) == 1 {
+					if ta, ok := a.Rhs[0].(*ast.TypeAssertExpr); ok {
+						subject = ta.X
+					}
+				}
+			case *ast.ExprStmt:
+				if ta, ok := a.X.(*ast.TypeAssertExpr); ok {
+					subject = ta.X
+				}
+			}
+			if subject != nil && s.taintedExpr(subject) {
+				for _, cl := range n.Body.List {
+					cc, ok := cl.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					obj := s.e.Pass.TypesInfo.Implicits[cc]
+					if obj != nil && RetainsMemory(obj.Type()) {
+						s.tainted[obj] = true
+					}
+				}
+			}
+			return true
+		case *ast.RangeStmt:
+			if n.X != nil && s.taintedExpr(n.X) {
+				for _, v := range []ast.Expr{n.Key, n.Value} {
+					id, ok := v.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					obj := s.e.Pass.TypesInfo.Defs[id]
+					if obj == nil {
+						obj = s.e.Pass.TypesInfo.Uses[id]
+					}
+					if obj != nil && RetainsMemory(obj.Type()) {
+						s.tainted[obj] = true
+					}
+				}
+			}
+			return true
+		case *ast.ExprStmt:
+			s.expr(n.X, report)
+			return false
+		case *ast.IncDecStmt:
+			return false
+		}
+		return true
+	})
+}
+
+// expr scans an expression for calls (argument escapes, closures) without
+// treating it as a store target.
+func (s *funcState) expr(x ast.Expr, report reportFn) {
+	ast.Inspect(x, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			s.callArgs(n, report, false)
+			return false
+		case *ast.FuncLit:
+			s.funcLit(n, report, false)
+			return false
+		}
+		return true
+	})
+}
+
+// funcLit flags closures that capture tainted objects unless they are
+// invoked before the window closes (immediately called, or deferred).
+func (s *funcState) funcLit(lit *ast.FuncLit, report reportFn, invokedNow bool) {
+	if invokedNow {
+		// Body runs inside the window; analyze it inline.
+		s.walkBody(lit.Body, report)
+		return
+	}
+	info := s.e.Pass.TypesInfo
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj != nil && s.tainted[obj] && s.objTainted(obj) {
+			report(id.Pos(), "%s captured by a closure that may outlive the call; it is only valid during the call — copy what the closure needs", s.e.What)
+		}
+		return true
+	})
+}
+
+// callArgs handles a call expression: builtin semantics, interprocedural
+// propagation, and closure arguments.
+func (s *funcState) callArgs(call *ast.CallExpr, report reportFn, isGo bool) {
+	info := s.e.Pass.TypesInfo
+	// Builtins with element-copy or non-retaining semantics.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "copy":
+				// copy(dst, src): element copy; taints dst only when the
+				// element type itself retains memory.
+				if len(call.Args) == 2 && s.taintedExpr(call.Args[1]) {
+					if elem := sliceElem(info.TypeOf(call.Args[0])); elem != nil && RetainsMemory(elem) {
+						s.taintLValue(call.Args[0], call.Args[1], report)
+					}
+				}
+				return
+			case "len", "cap", "delete", "print", "println", "clear", "min", "max":
+				return
+			}
+			// append is handled as a value in taintedExpr; panic etc. fall
+			// through to generic scanning below.
+		}
+	}
+	// Immediately-invoked closure: body runs inside the window.
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		s.funcLit(lit, report, !isGo)
+		for _, a := range call.Args {
+			if s.taintedExpr(a) && isGo {
+				report(a.Pos(), "%s passed to a goroutine; it is only valid during the call — copy it first", s.e.What)
+			}
+			s.expr(a, report)
+		}
+		return
+	}
+
+	callee := PkgFunc(info, call)
+	sig, _ := info.TypeOf(call.Fun).(*types.Signature)
+
+	// Receiver of a resolved method call.
+	if callee != nil && sig != nil && sig.Recv() != nil {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && s.taintedExpr(sel.X) {
+			s.argTaint(callee, sig.Recv(), sel.X, report, isGo)
+		}
+	}
+	for i, a := range call.Args {
+		if lit, ok := ast.Unparen(a).(*ast.FuncLit); ok {
+			// A closure passed to another function: assume it may be stored
+			// and run later (timers do exactly that).
+			s.funcLit(lit, report, false)
+			continue
+		}
+		if s.taintedExpr(a) {
+			var param *types.Var
+			if sig != nil && sig.Params() != nil {
+				if i < sig.Params().Len() {
+					param = sig.Params().At(i)
+				} else if sig.Variadic() && sig.Params().Len() > 0 {
+					param = sig.Params().At(sig.Params().Len() - 1)
+				}
+			}
+			s.argTaint(callee, param, a, report, isGo)
+		}
+		s.expr(a, report)
+	}
+}
+
+func (s *funcState) argTaint(callee *types.Func, param *types.Var, arg ast.Expr, report reportFn, isGo bool) {
+	if isGo {
+		report(arg.Pos(), "%s passed to a goroutine; it is only valid during the call — copy it first", s.e.What)
+		return
+	}
+	if s.e.OnArgTaint != nil && callee != nil && param != nil && RetainsMemory(param.Type()) {
+		s.e.OnArgTaint(callee, param, arg)
+	}
+	// A synchronous call finishes inside the window, so passing taint down
+	// is fine by itself; the callee is analyzed separately via OnArgTaint.
+}
+
+// assign classifies each lhs/rhs pair of an assignment.
+func (s *funcState) assign(n *ast.AssignStmt, report reportFn) {
+	info := s.e.Pass.TypesInfo
+	// Multi-value form: a, b := f().
+	if len(n.Lhs) > 1 && len(n.Rhs) == 1 {
+		tainted := s.taintedExpr(n.Rhs[0])
+		for _, l := range n.Lhs {
+			if tainted {
+				s.taintLValue(l, n.Rhs[0], report)
+			} else {
+				s.cleanLValue(l)
+			}
+		}
+		return
+	}
+	for i, l := range n.Lhs {
+		if i >= len(n.Rhs) {
+			break
+		}
+		r := n.Rhs[i]
+		rhsTainted := s.taintedExpr(r)
+		// x op= y never rebinds memory except += on... it can for strings
+		// only (immutable) — treat op= as read-only unless it is = or :=.
+		if n.Tok != token.ASSIGN && n.Tok != token.DEFINE {
+			continue
+		}
+		if rhsTainted {
+			s.taintLValue(l, r, report)
+		} else {
+			s.cleanLValue(l)
+		}
+	}
+	_ = info
+}
+
+// cleanLValue records that lhs now holds a clean value: reassigned locals
+// lose their taint; clean stores over fields of tainted by-value structs
+// cleanse those fields.
+func (s *funcState) cleanLValue(l ast.Expr) {
+	info := s.e.Pass.TypesInfo
+	switch l := ast.Unparen(l).(type) {
+	case *ast.Ident:
+		var obj types.Object
+		if d := info.Defs[l]; d != nil {
+			obj = d
+		} else {
+			obj = info.Uses[l]
+		}
+		if obj != nil {
+			delete(s.tainted, obj)
+			delete(s.cleansed, obj)
+		}
+	case *ast.SelectorExpr:
+		if id, ok := ast.Unparen(l.X).(*ast.Ident); ok {
+			obj := info.Uses[id]
+			if obj != nil && s.tainted[obj] && !isPointer(obj.Type()) {
+				m := s.cleansed[obj]
+				if m == nil {
+					m = make(map[string]bool)
+					s.cleansed[obj] = m
+				}
+				m[l.Sel.Name] = true
+			}
+		}
+	}
+}
+
+// taintLValue handles a store of a tainted value into l: propagation when l
+// is local storage, a report when l outlives the call window.
+func (s *funcState) taintLValue(l ast.Expr, r ast.Expr, report reportFn) {
+	info := s.e.Pass.TypesInfo
+	switch l := ast.Unparen(l).(type) {
+	case *ast.Ident:
+		if l.Name == "_" {
+			return
+		}
+		var obj types.Object
+		if d := info.Defs[l]; d != nil {
+			obj = d
+		} else {
+			obj = info.Uses[l]
+		}
+		if obj == nil {
+			return
+		}
+		if obj.Parent() == obj.Pkg().Scope() {
+			report(l.Pos(), "%s stored in package variable %s; it is only valid during the call — copy it first", s.e.What, l.Name)
+			return
+		}
+		s.tainted[obj] = true
+		delete(s.cleansed, obj)
+		// p := &localStruct tracking: a pointer to a by-value local is
+		// itself local storage.
+		if ue, ok := ast.Unparen(r).(*ast.UnaryExpr); ok && ue.Op == token.AND {
+			if tid, ok := ast.Unparen(ue.X).(*ast.Ident); ok {
+				if tobj := info.Uses[tid]; tobj != nil && s.isLocalValue(tobj) {
+					s.pointee[obj] = tobj
+				}
+			}
+		}
+	case *ast.SelectorExpr:
+		root, local := s.localRoot(l.X)
+		if local {
+			if root != nil {
+				s.tainted[root] = true
+				if m := s.cleansed[root]; m != nil {
+					delete(m, l.Sel.Name)
+				}
+			}
+			return
+		}
+		report(l.Pos(), "%s stored in %s; it is only valid during the call — copy the retained parts (see radio.Medium's delivery contract)", s.e.What, lvalueDesc(l))
+	case *ast.IndexExpr:
+		root, local := s.localRoot(l.X)
+		if local {
+			if root != nil {
+				s.tainted[root] = true
+			}
+			return
+		}
+		report(l.Pos(), "%s stored in %s; it is only valid during the call — copy it first", s.e.What, lvalueDesc(l))
+	case *ast.StarExpr:
+		root, local := s.localRoot(l.X)
+		if local {
+			if root != nil {
+				s.tainted[root] = true
+			}
+			return
+		}
+		report(l.Pos(), "%s stored through pointer %s; it is only valid during the call — copy it first", s.e.What, lvalueDesc(l))
+	}
+}
+
+// localRoot resolves the base expression of a store target. It returns
+// (rootObject, true) when the target is provably function-local storage:
+// a by-value local (or a pointer known to address one). A false result
+// means the store escapes the call window.
+func (s *funcState) localRoot(x ast.Expr) (types.Object, bool) {
+	info := s.e.Pass.TypesInfo
+	for {
+		switch e := ast.Unparen(x).(type) {
+		case *ast.Ident:
+			obj := info.Uses[e]
+			if obj == nil {
+				obj = info.Defs[e]
+			}
+			if obj == nil {
+				return nil, false
+			}
+			if obj.Parent() == obj.Pkg().Scope() {
+				return obj, false // package variable
+			}
+			if s.isLocalValue(obj) {
+				return obj, true
+			}
+			if p, ok := s.pointee[obj]; ok {
+				return p, true
+			}
+			return obj, false // pointer/slice/map local of unknown origin
+		case *ast.SelectorExpr:
+			x = e.X
+		case *ast.IndexExpr:
+			x = e.X
+		case *ast.StarExpr:
+			x = e.X
+		default:
+			return nil, false
+		}
+	}
+}
+
+// isLocalValue reports whether obj is a non-pointer local variable or
+// parameter (a true by-value copy on this frame).
+func (s *funcState) isLocalValue(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() == v.Pkg().Scope() {
+		return false
+	}
+	switch v.Type().Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Interface, *types.Signature:
+		return false
+	}
+	return true
+}
+
+// objTainted reports whether the object still carries taint, accounting
+// for field cleansing on by-value structs.
+func (s *funcState) objTainted(obj types.Object) bool {
+	if !s.tainted[obj] {
+		return false
+	}
+	if !RetainsMemory(obj.Type()) {
+		return false
+	}
+	str, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return true
+	}
+	m := s.cleansed[obj]
+	for i := 0; i < str.NumFields(); i++ {
+		f := str.Field(i)
+		if RetainsMemory(f.Type()) && !m[f.Name()] {
+			return true
+		}
+	}
+	return false
+}
+
+// taintedExpr reports whether evaluating x yields a value that can keep
+// window-bounded memory alive.
+func (s *funcState) taintedExpr(x ast.Expr) bool {
+	info := s.e.Pass.TypesInfo
+	switch e := ast.Unparen(x).(type) {
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			obj = info.Defs[e]
+		}
+		return obj != nil && s.objTainted(obj)
+	case *ast.SelectorExpr:
+		// Field selection on a tainted base: tainted when the field can
+		// retain memory and hasn't been cleansed.
+		if !s.taintedExpr(e.X) {
+			return false
+		}
+		t := info.TypeOf(e)
+		if t == nil || !RetainsMemory(t) {
+			return false
+		}
+		if id, ok := ast.Unparen(e.X).(*ast.Ident); ok {
+			obj := info.Uses[id]
+			if obj != nil && s.cleansed[obj][e.Sel.Name] {
+				return false
+			}
+		}
+		return true
+	case *ast.IndexExpr:
+		if !s.taintedExpr(e.X) {
+			return false
+		}
+		t := info.TypeOf(e)
+		return t != nil && RetainsMemory(t)
+	case *ast.SliceExpr:
+		return s.taintedExpr(e.X)
+	case *ast.StarExpr:
+		return s.taintedExpr(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return s.taintedExpr(e.X)
+		}
+		return false
+	case *ast.TypeAssertExpr:
+		return s.taintedExpr(e.X)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if s.taintedExpr(el) {
+				return true
+			}
+		}
+		return false
+	case *ast.CallExpr:
+		return s.taintedCall(e)
+	case *ast.FuncLit:
+		// Handled separately by funcLit; as a value it is clean here.
+		return false
+	}
+	return false
+}
+
+// taintedCall evaluates taint of a call result.
+func (s *funcState) taintedCall(call *ast.CallExpr) bool {
+	info := s.e.Pass.TypesInfo
+	if s.e.TaintedCall != nil && s.e.TaintedCall(call) {
+		return true
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "append":
+				// append(dst, xs...) copies elements: the result aliases
+				// dst's backing array plus, for memory-carrying element
+				// types, whatever the elements reference.
+				if len(call.Args) == 0 {
+					return false
+				}
+				if s.taintedExpr(call.Args[0]) {
+					return true
+				}
+				elem := sliceElem(info.TypeOf(call.Args[0]))
+				retainingElems := elem != nil && RetainsMemory(elem)
+				for _, a := range call.Args[1:] {
+					if s.taintedExpr(a) && retainingElems {
+						return true
+					}
+				}
+				return false
+			case "len", "cap", "copy", "min", "max", "make", "new":
+				return false
+			}
+		}
+	}
+	// Conversions: T(x) keeps x's memory for reference types.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			return s.taintedExpr(call.Args[0]) && RetainsMemory(tv.Type)
+		}
+		return false
+	}
+	if s.e.ReturnsTaint != nil {
+		if fn := PkgFunc(info, call); fn != nil && s.e.ReturnsTaint(fn) {
+			return true
+		}
+	}
+	return false
+}
+
+// isPointer reports whether t's underlying type is a pointer.
+func isPointer(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Pointer)
+	return ok
+}
+
+// sliceElem returns the element type if t is a slice (or pointer to
+// array), else nil.
+func sliceElem(t types.Type) types.Type {
+	if t == nil {
+		return nil
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return u.Elem()
+	case *types.Pointer:
+		if a, ok := u.Elem().Underlying().(*types.Array); ok {
+			return a.Elem()
+		}
+	}
+	return nil
+}
+
+// lvalueDesc renders a store target for diagnostics.
+func lvalueDesc(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		return fmt.Sprintf("field %s", exprString(e))
+	default:
+		return exprString(e)
+	}
+}
+
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	default:
+		return "expression"
+	}
+}

@@ -1,0 +1,18 @@
+// Package main is the non-firing walltime fixture: wall-clock reads and the
+// global rand source are fine outside the deterministic simulator packages
+// (CLIs time their own runs, tests seed from the clock, etc.).
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+func main() {
+	start := time.Now()
+	rand.Seed(time.Now().UnixNano())
+	n := rand.Intn(100)
+	time.Sleep(time.Duration(n) * time.Microsecond)
+	fmt.Println(time.Since(start))
+}

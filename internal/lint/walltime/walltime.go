@@ -1,0 +1,99 @@
+// Package walltime forbids wall-clock time and the global math/rand source
+// inside the deterministic simulator packages.
+//
+// The reproduction's claims rest on bit-identical traces at every worker
+// count: every run is a pure function of (scenario, seed). A single
+// time.Now or global rand.Intn breaks that silently — the run still
+// completes, the figures just stop being reproducible. Inside the
+// kernel-driven packages (internal/{sim,fds,radio,cluster,intercluster,
+// membership,sleep,mobility,scenario,montecarlo}) the only legal clocks are
+// sim.Time values from the kernel, and the only legal randomness is a
+// *rand.Rand seeded from the scenario (rand.New(rand.NewSource(seed)) and
+// the SplitMix64 derivation in internal/replicate).
+//
+// Flagged: calls to time.Now, time.Since, time.Until, time.Sleep,
+// time.After, time.Tick, time.NewTimer, time.NewTicker, time.AfterFunc,
+// and every package-level math/rand or math/rand/v2 function that draws
+// from the global source (rand.Int, rand.Intn, rand.Float64, rand.Seed,
+// rand.Shuffle, rand.Perm, ...). Constructors (rand.New, rand.NewSource,
+// rand.NewZipf, rand.NewPCG, rand.NewChaCha8) and everything on an
+// explicit *rand.Rand receiver stay legal, as do time.Duration/time.Time
+// used as plain values.
+//
+// _test.go files are exempt: the invariant guards the simulator's own
+// event order, not the test harness around it.
+package walltime
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"clusterfds/internal/lint"
+)
+
+// Analyzer is the walltime invariant check.
+var Analyzer = &lint.Analyzer{
+	Name: "walltime",
+	Doc: "forbid wall-clock time and the global math/rand source in the " +
+		"deterministic simulator packages (simulated time and seeded RNGs only)",
+	Run: run,
+}
+
+// forbiddenTime lists the time package functions that read or act on the
+// wall clock or the runtime timer heap.
+var forbiddenTime = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+}
+
+func run(pass *lint.Pass) error {
+	if !lint.DeterministicPackage(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if lint.TestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := lint.PkgFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			// Only package-level functions draw on global state; methods
+			// (e.g. (*rand.Rand).Intn, (time.Time).Sub) are explicit about
+			// their source and stay legal.
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if forbiddenTime[fn.Name()] {
+					pass.Reportf(call.Pos(),
+						"time.%s in deterministic package %s: simulated time only (use the sim kernel's clock and timers)",
+						fn.Name(), pass.Pkg.Path())
+				}
+			case "math/rand", "math/rand/v2":
+				if strings.HasPrefix(fn.Name(), "New") {
+					return true // rand.New, rand.NewSource, rand.NewZipf, ...
+				}
+				pass.Reportf(call.Pos(),
+					"global %s.%s in deterministic package %s: seeded *rand.Rand only (rand.New(rand.NewSource(seed)))",
+					fn.Pkg().Path(), fn.Name(), pass.Pkg.Path())
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+package walltime_test
+
+import (
+	"testing"
+
+	"clusterfds/internal/lint/lintest"
+	"clusterfds/internal/lint/walltime"
+)
+
+func TestWalltime(t *testing.T) {
+	lintest.Run(t, "testdata", walltime.Analyzer,
+		"clusterfds/internal/sim", // firing: deterministic package
+		"clusterfds/cmd/fdsim",    // non-firing: outside the deterministic set
+	)
+}

@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check vet lint fmt-check build test race benchsmoke benchcmp bench fmt
+.PHONY: check vet lint fmt-check build test race benchsmoke benchcmp scale-smoke bench fmt
 
 ## check: the pre-PR gate. Run this before sending any change for review.
-check: vet lint fmt-check build test race benchsmoke benchcmp
+check: vet lint fmt-check build test race benchsmoke benchcmp scale-smoke
 	@echo "check: all gates passed"
 
 vet:
@@ -45,9 +45,27 @@ benchsmoke:
 ## figure regresses more than 10% against the committed baseline
 ## (bench_baseline.json). When an optimization lowers a count, tighten the
 ## baseline in the same PR so the gate keeps biting.
+## The scale benchmarks (FDSEpoch10k, ShardedEpoch) run in a second
+## invocation at -benchtime 1x: one iteration is seconds of simulation, and
+## their allocation counts are deterministic at fixed seed regardless of
+## iteration count. Both invocations feed one benchcmp run.
 benchcmp:
-	$(GO) test -run '^$$' -bench 'BenchmarkFDSEpoch$$|BenchmarkRadioBroadcast$$|BenchmarkCodec$$' \
-		-benchtime 20x -benchmem . | $(GO) run ./cmd/benchcmp -baseline bench_baseline.json
+	{ $(GO) test -run '^$$' -bench 'BenchmarkFDSEpoch$$|BenchmarkRadioBroadcast$$|BenchmarkCodec$$' \
+		-benchtime 20x -benchmem . && \
+	  $(GO) test -run '^$$' -bench 'BenchmarkFDSEpoch10k$$|BenchmarkShardedEpoch$$' \
+		-benchtime 1x -benchmem . ; } | $(GO) run ./cmd/benchcmp -baseline bench_baseline.json
+
+## scale-smoke: the sharded engine's cross-partition determinism gate at a
+## scale the unit tests don't reach: a 10,000-host crash wave, run with 1
+## shard and again with 4 shards x 2 workers, must print bit-identical trace
+## and state hashes. See EXPERIMENTS.md "Sharded kernel".
+scale-smoke:
+	$(GO) build -o bin/fdsim ./cmd/fdsim
+	@a="$$(bin/fdsim -shards 1 -nodes 10000 -field 2000 -crashes 25 -crash-epoch 1 -epochs 3 -seed 42 | grep 'hash:')"; \
+	b="$$(bin/fdsim -shards 4 -shard-workers 2 -nodes 10000 -field 2000 -crashes 25 -crash-epoch 1 -epochs 3 -seed 42 | grep 'hash:')"; \
+	echo "$$a"; \
+	if [ "$$a" != "$$b" ]; then echo "scale-smoke: HASH MISMATCH between -shards 1 and -shards 4:"; echo "$$b"; exit 1; fi; \
+	echo "scale-smoke: 1-shard and 4-shard hashes identical"
 
 ## bench: the full evaluation harness (slow; regenerates every figure).
 bench:

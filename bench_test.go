@@ -23,6 +23,7 @@ import (
 	"clusterfds/internal/node"
 	"clusterfds/internal/radio"
 	"clusterfds/internal/scenario"
+	"clusterfds/internal/shard"
 	"clusterfds/internal/sim"
 	"clusterfds/internal/sleep"
 	"clusterfds/internal/wire"
@@ -407,6 +408,48 @@ func BenchmarkFDSEpoch(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(w.Kernel.Steps()-startEvents)/float64(b.N), "kernel-events/epoch")
+}
+
+// BenchmarkFDSEpoch10k is BenchmarkFDSEpoch at 10,000 hosts on the per-host
+// engine: one settle epoch outside the timer, then one steady-state epoch
+// per iteration. It exists to anchor the sharded engine's numbers against
+// the reference runtime at the same population; it is far too slow for the
+// 20x gate invocation, so the Makefile runs it at -benchtime 1x (allocation
+// counts stay deterministic — fixed seed, single-threaded kernel).
+func BenchmarkFDSEpoch10k(b *testing.B) {
+	w := scenario.Build(scenario.Config{Seed: 1, Nodes: 10000, FieldSide: 2000, LossProb: 0.1})
+	w.RunEpochs(1)
+	startEvents := w.Kernel.Steps()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.RunEpochs(2 + i)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(w.Kernel.Steps()-startEvents)/float64(b.N), "kernel-events/epoch")
+}
+
+// BenchmarkShardedEpoch measures the sharded engine (internal/shard) on the
+// same 10,000-host field: build + one full epoch per iteration, 4 shards,
+// workers=1 so the drain runs serially and allocs/op stays deterministic.
+// Compare events/sec against BenchmarkFDSEpoch10k's kernel-events/epoch to
+// see what the SoA engine buys at scale.
+func BenchmarkShardedEpoch(b *testing.B) {
+	b.ReportAllocs()
+	var events uint64
+	var elapsed time.Duration
+	for i := 0; i < b.N; i++ {
+		cfg := scenario.ShardedCrashWave(
+			scenario.Config{Seed: 1, Nodes: 10000, FieldSide: 2000, LossProb: 0.1},
+			4, 1, 1, 0, 0)
+		e := shard.Build(cfg)
+		t0 := time.Now()
+		res := e.Run()
+		elapsed += time.Since(t0)
+		events += res.Events
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/epoch")
+	b.ReportMetric(float64(events)/elapsed.Seconds(), "events/sec")
 }
 
 // BenchmarkCodec measures the wire codec round trip for the largest

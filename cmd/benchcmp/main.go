@@ -3,7 +3,10 @@
 // and compares them against a committed baseline JSON. Any benchmark whose
 // allocs/op exceeds its baseline by more than the tolerance fails the gate,
 // as does a baseline benchmark missing from the input (a renamed or deleted
-// benchmark must be renamed in the baseline too, deliberately).
+// benchmark must be renamed in the baseline too, deliberately). The reverse
+// is informational only: a benchmark present in the input but absent from
+// the baseline is reported as "new" and does not fail the gate, so a PR can
+// introduce a benchmark and ratchet it into the baseline in one change.
 //
 // Usage:
 //
@@ -81,6 +84,22 @@ func main() {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+
+	// Benchmarks present in the run but absent from the baseline are
+	// informational, not failures: a PR that introduces a benchmark can run
+	// it through the gate immediately and ratchet the baseline in the same
+	// change, without a chicken-and-egg edit ordering.
+	extra := make([]string, 0)
+	for name := range got {
+		if _, ok := baseline[name]; !ok {
+			extra = append(extra, name)
+		}
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		fmt.Printf("benchcmp: new  %s: %.0f allocs/op (not in baseline — add it to ratchet the gate)\n",
+			name, got[name])
+	}
 
 	failed := false
 	for _, name := range names {

@@ -44,6 +44,8 @@ import (
 	"clusterfds/internal/cluster"
 	"clusterfds/internal/metrics"
 	"clusterfds/internal/scenario"
+	"clusterfds/internal/shard"
+	"clusterfds/internal/sim"
 	"clusterfds/internal/sleep"
 	"clusterfds/internal/stats"
 	"clusterfds/internal/wire"
@@ -71,6 +73,10 @@ func main() {
 	naiveSleep := flag.Bool("naive-sleep", false, "duty cycling WITHOUT sleep notices (the paper's hazard)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile (taken at exit) to this file")
+	shards := flag.Int("shards", 0,
+		"run the sharded large-scale engine with this many spatial shards (0 = legacy per-host runtime); results are bit-identical at every shard count")
+	shardWorkers := flag.Int("shard-workers", 1,
+		"worker pool draining shards within a window (sharded engine only; any value gives identical results)")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -105,6 +111,16 @@ func main() {
 				fmt.Fprintf(os.Stderr, "fdsim: memprofile: %v\n", err)
 			}
 		}()
+	}
+
+	if *shards > 0 {
+		runSharded(scenario.Config{
+			Seed:      *seed,
+			Nodes:     *nodes,
+			FieldSide: *field,
+			LossProb:  *lossProb,
+		}, *shards, *shardWorkers, *epochs, *crashes, *crashEpoch)
+		return
 	}
 
 	var stack scenario.Stack
@@ -285,4 +301,73 @@ func runReplicated(cfg scenario.Config, stack scenario.Stack, trials, workers, c
 	fmt.Printf("per-replica means: %.0f tx msgs, %.0f tx bytes, %.0f energy units\n",
 		s.TxMessages, s.TxBytes, s.Energy)
 	exportMetrics(s.Metrics, metricsJSON, metricsCSV)
+}
+
+// runSharded executes the large-scale sharded engine (see internal/shard)
+// and prints its summary: detection outcomes per victim, traffic and energy
+// totals, epoch throughput, memory per node, and the two determinism
+// hashes. The hashes are the scale-smoke contract: `make scale-smoke`
+// asserts they are identical between -shards 1 and -shards 4.
+func runSharded(cfg scenario.Config, shards, workers, epochs, crashes, crashEpoch int) {
+	sc := scenario.ShardedCrashWave(cfg, shards, workers, epochs, crashes, crashEpoch)
+
+	// Liveness lines on stderr every 5 simulated seconds; stdout stays
+	// reserved for the summary (the scale-smoke gate greps it for hashes).
+	startWall := time.Now()
+	sc.Progress = func(at sim.Time, events uint64) {
+		fmt.Fprintf(os.Stderr, "progress: t=%v %d events (%.0f events/sec wall)\n",
+			time.Duration(at).Round(time.Millisecond), events,
+			float64(events)/time.Since(startWall).Seconds())
+	}
+	sc.ProgressEvery = 500
+
+	buildStart := time.Now()
+	eng := shard.Build(sc)
+	buildElapsed := time.Since(buildStart)
+
+	runStart := time.Now()
+	res := eng.Run()
+	runElapsed := time.Since(runStart)
+
+	fmt.Printf("fdsim: sharded engine nodes=%d field=%.0fm p=%.2f epochs=%d seed=%d shards=%d workers=%d\n",
+		sc.N, sc.Side, sc.Radio.LossProb, epochs, sc.Seed, res.Shards, res.Workers)
+	fmt.Printf("build: %v (%.1f MB live heap, %.0f bytes/node)\n",
+		buildElapsed.Round(time.Millisecond),
+		float64(res.BuildHeapBytes)/(1<<20),
+		float64(res.BuildHeapBytes)/float64(sc.N))
+	perSec := float64(res.Events) / runElapsed.Seconds()
+	fmt.Printf("run: %v for %d events (%.0f events/sec, %.0f events/epoch)\n\n",
+		runElapsed.Round(time.Millisecond), res.Events, perSec,
+		float64(res.Events)/float64(epochs))
+
+	if len(res.Victims) > 0 {
+		fmt.Printf("crash wave: %d victims at epoch %d midpoint; %d detected by their cells\n",
+			len(res.Victims), crashEpoch, res.Detected)
+		show := res.Victims
+		const maxShow = 10
+		if len(show) > maxShow {
+			show = show[:maxShow]
+		}
+		for _, v := range show {
+			if v.DetectedAt < 0 {
+				fmt.Printf("  %v: never detected (likely alone in its cell); known by %d hosts\n", v.ID, v.Aware)
+				continue
+			}
+			fmt.Printf("  %v: detected after %v; known by %d/%d hosts\n",
+				v.ID, time.Duration(v.DetectedAt-v.CrashedAt), v.Aware, sc.N)
+		}
+		if len(res.Victims) > maxShow {
+			fmt.Printf("  ... and %d more\n", len(res.Victims)-maxShow)
+		}
+		fmt.Println()
+	}
+
+	fmt.Printf("traffic: %d sends, %d deliveries, %d loss drops, %d dead drops\n",
+		res.Sends, res.Deliveries, res.DropLoss, res.DropDead)
+	fmt.Printf("bytes: %d tx, %d rx\n", res.TxBytes, res.RxBytes)
+	fmt.Printf("detector: %d false positives, %d rescues\n", res.FalsePositives, res.Rescues)
+	fmt.Printf("energy spent (all hosts): %.0f units\n\n", res.EnergySpent)
+
+	fmt.Printf("trace hash: %016x\n", res.TraceHash)
+	fmt.Printf("state hash: %016x\n", res.StateHash)
 }

@@ -227,7 +227,7 @@ func (p *Protocol) runEpoch(e wire.Epoch) {
 	// formation probe, the membership subscription of unadmitted hosts,
 	// and round fds.R-1 of the failure detection service, which observes
 	// the same messages.
-	jitter := sim.Time(p.host.Rand().Int63n(int64(t.Thop)/4 + 1))
+	jitter := sim.Time(p.host.Rand().Int63n(t.JitterSpan()))
 	p.host.After(jitter, func() {
 		p.host.Send(&wire.Heartbeat{NID: p.host.ID(), Epoch: e, Marked: p.marked})
 	})

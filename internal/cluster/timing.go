@@ -78,3 +78,11 @@ func (t Timing) R2End() sim.Time { return 2 * t.Thop }
 // R3End is the end of the health-update round; the paper's "timeout for
 // report receiving" at which peer forwarding and takeover decisions trigger.
 func (t Timing) R3End() sim.Time { return 3 * t.Thop }
+
+// JitterSpan is the exclusive upper bound on the per-sender transmission
+// jitter drawn at the start of each round: a uniform draw in [0, Thop/4]
+// desynchronizes broadcasts so a round's messages do not all collide at one
+// instant, while Thop/4 keeps even the latest send + MaxDelay inside the
+// round. Every engine (the per-host runtime and the sharded kernel) must
+// draw from this same span or their traces diverge.
+func (t Timing) JitterSpan() int64 { return int64(t.Thop)/4 + 1 }

@@ -25,9 +25,12 @@ import (
 
 // smallLimit bounds the direct-index fast path: NodeIDs below it are mapped
 // through a flat slice (scenarios number hosts 1..N, so this is the only
-// path the experiments exercise); larger IDs fall back to a map so arbitrary
-// 32-bit IDs still work.
-const smallLimit = 1 << 16
+// path the experiments exercise — including the million-node sharded fields,
+// whose hosts are numbered 1..1e6); larger IDs fall back to a map so
+// arbitrary 32-bit IDs still work. The slice grows to the largest interned
+// ID, so the worst case is 4 MB per interner — and roster-scoped interners
+// only ever see their own neighborhood's IDs.
+const smallLimit = 1 << 20
 
 // Interner assigns dense, stable uint32 indices to wire.NodeIDs.
 // The zero value is ready to use.

@@ -2,6 +2,7 @@ package dense
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 
 	"clusterfds/internal/wire"
@@ -142,4 +143,114 @@ func TestBitsetSteadyStateAllocFree(t *testing.T) {
 	if allocs != 0 {
 		t.Errorf("steady-state epoch cycle allocates %.1f times, want 0", allocs)
 	}
+}
+
+// TestInternerMillionIDs pins the flat-slice fast path at the million-node
+// scale the sharded kernel runs at: hosts numbered 1..1e6 must intern without
+// touching the map fallback, and the backing slice must stay within the
+// geometric-growth bound (2x the largest ID), not balloon per insertion.
+func TestInternerMillionIDs(t *testing.T) {
+	const n = 1_000_000
+	var in Interner
+	for id := wire.NodeID(1); id <= n; id++ {
+		if got := in.Index(id); got != uint32(id-1) {
+			t.Fatalf("Index(%d) = %d, want %d", id, got, id-1)
+		}
+	}
+	if in.Len() != n {
+		t.Fatalf("Len = %d, want %d", in.Len(), n)
+	}
+	if in.big != nil {
+		t.Fatalf("IDs 1..%d spilled into the map fallback (%d entries)", n, len(in.big))
+	}
+	// Footprint: the small slice holds uint32 words; geometric growth bounds
+	// it at twice the largest ID+1 (here 2^21 words = 8 MB), and rev holds
+	// exactly one NodeID per interned ID.
+	if len(in.small) > 2*(n+1) {
+		t.Fatalf("small slice = %d words for max ID %d, want <= %d", len(in.small), n, 2*(n+1))
+	}
+	if len(in.rev) != n {
+		t.Fatalf("rev = %d entries, want %d", len(in.rev), n)
+	}
+	// Spot-check stability and reverse lookup at the extremes.
+	for _, id := range []wire.NodeID{1, 2, n / 2, n - 1, n} {
+		i, ok := in.Lookup(id)
+		if !ok || i != uint32(id-1) || in.NodeID(i) != id {
+			t.Fatalf("round trip failed for %d: (%d, %v)", id, i, ok)
+		}
+	}
+}
+
+// TestBitsetMillionIndices pins Bitset behavior and footprint at 1e6 dense
+// indices: ceil(1e6/64) = 15625 words are needed, and geometric growth must
+// keep the allocation within 2x of that.
+func TestBitsetMillionIndices(t *testing.T) {
+	const n = 1_000_000
+	var b Bitset
+	for i := uint32(0); i < n; i += 7 {
+		b.Set(i)
+	}
+	want := (n + 6) / 7
+	if got := b.Count(); got != want {
+		t.Fatalf("Count = %d, want %d", got, want)
+	}
+	needWords := (n + 63) / 64
+	if len(b.words) < needWords || len(b.words) > 2*needWords {
+		t.Fatalf("words = %d, want within [%d, %d]", len(b.words), needWords, 2*needWords)
+	}
+	if !b.Get(0) || !b.Get(7) || b.Get(1) || b.Get(n+100) {
+		t.Fatal("membership wrong at scale")
+	}
+	last := int64(-1)
+	seen := 0
+	b.ForEach(func(i uint32) {
+		if int64(i) <= last || i%7 != 0 {
+			t.Fatalf("ForEach yielded %d after %d", i, last)
+		}
+		last = int64(i)
+		seen++
+	})
+	if seen != want {
+		t.Fatalf("ForEach yielded %d indices, want %d", seen, want)
+	}
+}
+
+// TestConcurrentReadOnlyAccess exercises the shard kernel's sharing pattern
+// under the race detector: after single-threaded construction, many
+// goroutines read the same Interner and Bitset concurrently (shards read
+// each other's static rosters during window merges, never writing). Any
+// hidden mutation in a read path — lazy growth, memoization — would be a
+// determinism bug, and -race turns it into a test failure.
+func TestConcurrentReadOnlyAccess(t *testing.T) {
+	const n = 100_000
+	var in Interner
+	var b Bitset
+	for id := wire.NodeID(1); id <= n; id++ {
+		i := in.Index(id)
+		if id%3 == 0 {
+			b.Set(i)
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for id := wire.NodeID(1 + g); id <= n; id += 8 {
+				i, ok := in.Lookup(id)
+				if !ok || in.NodeID(i) != id {
+					t.Errorf("goroutine %d: round trip failed for %d", g, id)
+					return
+				}
+				if got, want := b.Get(i), id%3 == 0; got != want {
+					t.Errorf("goroutine %d: Get(%d) = %v, want %v", g, i, got, want)
+					return
+				}
+			}
+			if b.Count() != n/3 {
+				t.Errorf("goroutine %d: Count = %d, want %d", g, b.Count(), n/3)
+			}
+		}(g)
+	}
+	wg.Wait()
 }

@@ -272,7 +272,7 @@ func (p *Protocol) runEpoch(e wire.Epoch) {
 	// The R-1 heartbeat itself is emitted by the cluster protocol (F5).
 
 	// fds.R-2: digest exchange.
-	jitter := sim.Time(p.host.Rand().Int63n(int64(t.Thop)/4 + 1))
+	jitter := sim.Time(p.host.Rand().Int63n(t.JitterSpan()))
 	p.host.After(t.R1End()+jitter, func() { p.sendDigest(e) })
 
 	if p.snapshot.IsCH {

@@ -199,7 +199,7 @@ func suppress(name string, u *Unit, diags []Diagnostic) []Diagnostic {
 // DESIGN.md §"Determinism & lifetime invariants".
 var deterministicDirs = []string{
 	"sim", "fds", "radio", "cluster", "intercluster",
-	"membership", "sleep", "mobility", "scenario", "montecarlo",
+	"membership", "sleep", "mobility", "scenario", "montecarlo", "shard",
 }
 
 // DeterministicPackage reports whether the import path names one of the

@@ -7,6 +7,12 @@
 // are injected by scenarios, optionally aligned to heartbeat-interval
 // epochs to honor the assumption that "a node will not fail during an FDS
 // execution".
+//
+// This runtime allocates one Host object per node and scales comfortably
+// to ~10^4 hosts. For larger fields, internal/shard reimplements the FDS
+// rounds on struct-of-arrays state with a sharded conservative kernel
+// (fdsim -shards N); the two engines share wire sizes, timing, and the
+// golden-hash determinism discipline, but not code.
 package node
 
 import (

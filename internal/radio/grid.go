@@ -13,15 +13,37 @@ import (
 // O(network size), which matters for the 2000-node scalability runs.
 type grid struct {
 	cell  float64
-	cells map[[2]int32][]wire.NodeID
+	cells map[[2]int64][]wire.NodeID
 }
 
 func newGrid(cell float64) *grid {
-	return &grid{cell: cell, cells: make(map[[2]int32][]wire.NodeID)}
+	return &grid{cell: cell, cells: make(map[[2]int64][]wire.NodeID)}
 }
 
-func (g *grid) key(p geo.Point) [2]int32 {
-	return [2]int32{int32(math.Floor(p.X / g.cell)), int32(math.Floor(p.Y / g.cell))}
+// cellIndex maps one coordinate to its cell index with saturating conversion.
+// The old int32 truncation was fine for the 500 m golden field but undefined
+// for coordinates past ±2^31 cells: Go leaves out-of-range float→int
+// conversion implementation-defined, so on amd64 every far-out coordinate
+// collapsed into the same 0x80000000 cell — a silent collision that made the
+// 3x3 probe return the whole far field. int64 indices cover any coordinate a
+// float64 can express at integer precision, and explicit clamping keeps the
+// non-finite edge cases (±Inf from a bad config, NaN from 0/0 motion)
+// deterministic instead of implementation-defined.
+func cellIndex(v, cell float64) int64 {
+	f := math.Floor(v / cell)
+	switch {
+	case f != f: // NaN: pin to cell 0 rather than UB.
+		return 0
+	case f >= math.MaxInt64:
+		return math.MaxInt64
+	case f <= math.MinInt64:
+		return math.MinInt64
+	}
+	return int64(f)
+}
+
+func (g *grid) key(p geo.Point) [2]int64 {
+	return [2]int64{cellIndex(p.X, g.cell), cellIndex(p.Y, g.cell)}
 }
 
 func (g *grid) insert(id wire.NodeID, p geo.Point) {
@@ -77,9 +99,9 @@ func (g *grid) move(id wire.NodeID, from, to geo.Point) {
 // still need an exact range check; the grid only prunes.
 func (g *grid) forNear(p geo.Point, fn func(wire.NodeID)) {
 	c := g.key(p)
-	for dx := int32(-1); dx <= 1; dx++ {
-		for dy := int32(-1); dy <= 1; dy++ {
-			for _, id := range g.cells[[2]int32{c[0] + dx, c[1] + dy}] {
+	for dx := int64(-1); dx <= 1; dx++ {
+		for dy := int64(-1); dy <= 1; dy++ {
+			for _, id := range g.cells[[2]int64{c[0] + dx, c[1] + dy}] {
 				fn(id)
 			}
 		}
@@ -93,9 +115,9 @@ func (g *grid) forNear(p geo.Point, fn func(wire.NodeID)) {
 // check; the grid only prunes.
 func (g *grid) appendNear(dst []wire.NodeID, p geo.Point) []wire.NodeID {
 	c := g.key(p)
-	for dx := int32(-1); dx <= 1; dx++ {
-		for dy := int32(-1); dy <= 1; dy++ {
-			dst = append(dst, g.cells[[2]int32{c[0] + dx, c[1] + dy}]...)
+	for dx := int64(-1); dx <= 1; dx++ {
+		for dy := int64(-1); dy <= 1; dy++ {
+			dst = append(dst, g.cells[[2]int64{c[0] + dx, c[1] + dy}]...)
 		}
 	}
 	return dst

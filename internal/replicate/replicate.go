@@ -19,6 +19,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"clusterfds/internal/sim"
 )
 
 // Body is one replica: index i in [0, n) and a private random source derived
@@ -48,21 +50,14 @@ type Opts struct {
 	Context context.Context
 }
 
-// splitmix64 is the finalizer from Steele et al.'s SplitMix64 generator —
-// a strong 64-bit mixer, so adjacent replica indices yield uncorrelated
-// seeds.
-func splitmix64(x uint64) uint64 {
-	x += 0x9E3779B97F4A7C15
-	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
-	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
-	return x ^ (x >> 31)
-}
-
-// Seed derives replica i's seed from the experiment seed. The derivation is
-// a pure function of (seed, i): it does not depend on worker count, chunk
-// size, or scheduling, which is what makes parallel runs reproducible.
+// Seed derives replica i's seed from the experiment seed via sim.SplitMix64
+// (Steele et al.'s finalizer — a strong mixer, so adjacent replica indices
+// yield uncorrelated seeds). The derivation is a pure function of (seed, i):
+// it does not depend on worker count, chunk size, or scheduling, which is
+// what makes parallel runs reproducible. internal/shard derives its per-host
+// streams from the same primitive.
 func Seed(seed int64, i int) int64 {
-	return int64(splitmix64(splitmix64(uint64(seed)) + uint64(i)))
+	return int64(sim.SplitMix64(sim.SplitMix64(uint64(seed)) + uint64(i)))
 }
 
 // RNG returns replica i's private random source, seeded with Seed(seed, i).

@@ -1,0 +1,62 @@
+package scenario
+
+import (
+	"clusterfds/internal/radio"
+	"clusterfds/internal/shard"
+	"clusterfds/internal/sim"
+	"clusterfds/internal/wire"
+)
+
+// ShardedCrashWave maps the legacy scenario vocabulary — the same knobs
+// fdsim exposes for the per-host runtime — onto a shard.Config for the
+// large-scale engine: a uniform field of cfg.Nodes hosts with a wave of
+// `crashes` distinct victims at the midpoint of `crashEpoch`, chosen
+// deterministically from the seed (a Fisher–Yates prefix over a dedicated
+// stream, the shard-engine analogue of World.CrashRandomAt).
+//
+// Only the population, field, loss, seed, and timing knobs carry over; the
+// robustness-ablation and attachment options (peer forwarding, aggregation,
+// sleep, baselines) belong to the per-host runtime and have no sharded
+// counterpart.
+func ShardedCrashWave(cfg Config, shards, workers, epochs, crashes, crashEpoch int) shard.Config {
+	cfg = cfg.withDefaults()
+	sc := shard.Config{
+		Seed:    cfg.Seed,
+		N:       cfg.Nodes,
+		Side:    cfg.FieldSide,
+		Shards:  shards,
+		Workers: workers,
+		Epochs:  epochs,
+		Timing:  cfg.Timing,
+		Radio:   radio.Defaults(cfg.LossProb),
+	}
+	if crashes <= 0 {
+		return sc
+	}
+	if crashes > cfg.Nodes {
+		crashes = cfg.Nodes
+	}
+	if crashEpoch < 0 {
+		crashEpoch = 0
+	}
+	at := cfg.Timing.EpochStart(wire.Epoch(crashEpoch)) + cfg.Timing.Interval/2
+	// Partial Fisher–Yates over 1..Nodes: draw the first `crashes` entries
+	// of a seeded permutation without materializing swaps beyond a map of
+	// displaced slots, so a 1000-victim wave over 10^6 hosts stays O(V).
+	pick := sim.NewStream(sim.SplitMix64(uint64(cfg.Seed)) ^ 0xC2B2AE3D27D4EB4F)
+	displaced := make(map[int64]int64, crashes)
+	n := int64(cfg.Nodes)
+	for i := int64(0); i < int64(crashes); i++ {
+		j := i + pick.Int63n(n-i)
+		vi, vj := i, j
+		if d, ok := displaced[i]; ok {
+			vi = d
+		}
+		if d, ok := displaced[j]; ok {
+			vj = d
+		}
+		displaced[j] = vi
+		sc.Crashes = append(sc.Crashes, shard.Crash{ID: wire.NodeID(vj + 1), At: at})
+	}
+	return sc
+}

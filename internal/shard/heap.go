@@ -1,0 +1,114 @@
+package shard
+
+import "clusterfds/internal/sim"
+
+// ev is one scheduled occurrence in a shard's heap. Unlike the pointer-based
+// pooled events of sim.Kernel, ev is a plain value moved inside the heap
+// slice: at a million hosts the heap holds tens of millions of in-flight
+// deliveries, and value events cost one 40-byte slot with zero per-event
+// allocation or pointer chasing.
+//
+// Ordering is by the globally stable key (at, owner, seq) — owner is the
+// scheduling host's NodeID (0 for shard-control events) and seq its private
+// send counter. The key is assigned where the event is CREATED, from state
+// owned by one host, so it is identical at every shard and worker count;
+// kernel-local tie-break counters (what sim.Kernel uses) would not be.
+type ev struct {
+	at    sim.Time
+	owner uint32 // NodeID of the scheduling host; 0 = shard-control
+	seq   uint32 // owner's private event counter (shard-local for control)
+	kind  uint8
+	aux   uint32 // receiver idx (deliveries), victim idx (crash), epoch (epoch tick)
+	off   uint32 // payload span into the shard's victim-slot arena
+	n     uint32
+	bytes uint32 // wire size, for rx energy/byte accounting at delivery
+}
+
+// Event kinds. ek* fire on the owning host (sends and control), d* are
+// per-receiver deliveries.
+const (
+	ekEpoch  uint8 = iota // control: per-shard epoch tick; aux = epoch
+	ekCrash               // control: fail-stop a host; aux = host idx
+	ekHB                  // host broadcasts its round-1 heartbeat
+	ekDigest              // host broadcasts its round-2 digest
+	ekHealth              // CH runs detection + broadcasts the health update
+	ekCheck               // deputy CH takeover check at R3End+Thop
+	ekRelay               // host relays a failure report (epidemic hop)
+	dHB                   // deliveries of the above
+	dDigest
+	dHealth
+	dReport
+)
+
+// less orders events by the stable key (at, owner, seq).
+func (e *ev) less(o *ev) bool {
+	if e.at != o.at {
+		return e.at < o.at
+	}
+	if e.owner != o.owner {
+		return e.owner < o.owner
+	}
+	return e.seq < o.seq
+}
+
+// evHeap is a 4-ary min-heap of value events, the same shape sim.Kernel
+// uses: half the depth of a binary heap means half the sift-down swaps,
+// which dominate the engine's profile when tens of millions of deliveries
+// are in flight. Hand-rolled rather than container/heap to avoid interface
+// boxing on every push/pop.
+type evHeap struct {
+	a []ev
+}
+
+func (h *evHeap) len() int { return len(h.a) }
+
+// minTime returns the earliest scheduled instant, or ok=false when empty.
+func (h *evHeap) minTime() (sim.Time, bool) {
+	if len(h.a) == 0 {
+		return 0, false
+	}
+	return h.a[0].at, true
+}
+
+func (h *evHeap) push(e ev) {
+	h.a = append(h.a, e)
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !h.a[i].less(&h.a[p]) {
+			break
+		}
+		h.a[i], h.a[p] = h.a[p], h.a[i]
+		i = p
+	}
+}
+
+func (h *evHeap) pop() ev {
+	top := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a = h.a[:last]
+	i := 0
+	for {
+		first := i<<2 + 1
+		if first >= last {
+			break
+		}
+		m := first
+		end := first + 4
+		if end > last {
+			end = last
+		}
+		for c := first + 1; c < end; c++ {
+			if h.a[c].less(&h.a[m]) {
+				m = c
+			}
+		}
+		if !h.a[m].less(&h.a[i]) {
+			break
+		}
+		h.a[i], h.a[m] = h.a[m], h.a[i]
+		i = m
+	}
+	return top
+}

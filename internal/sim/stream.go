@@ -1,0 +1,56 @@
+package sim
+
+// SplitMix64 is the finalizer from Steele et al.'s SplitMix64 generator — a
+// strong 64-bit mixer. It is the repository's one seed-derivation primitive:
+// internal/replicate derives per-replica seeds from it, and internal/shard
+// derives per-host random streams, so adjacent indices yield uncorrelated
+// state in both.
+func SplitMix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// Stream is a tiny deterministic random stream: 8 bytes of state advanced by
+// SplitMix64 per draw. It exists for simulations that keep one independent
+// stream PER HOST — a *rand.Rand costs ~5 KB of state (the runtime's lagged
+// Fibonacci table), which at a million hosts is gigabytes; a Stream costs one
+// word. Statistical quality is far below math/rand's generator but entirely
+// adequate for Bernoulli loss draws and delay jitter, and every draw is a
+// pure function of (seed, draw index): stream consumption can never depend
+// on scheduling, which is what makes sharded runs reproducible at any
+// shard or worker count.
+//
+// The zero value is a valid stream (seeded with 0); NewStream mixes the seed
+// once so that adjacent seeds do not produce adjacent first draws.
+type Stream struct {
+	state uint64
+}
+
+// NewStream returns a stream whose draws are a pure function of seed.
+func NewStream(seed uint64) Stream {
+	return Stream{state: SplitMix64(seed)}
+}
+
+// Uint64 returns the next 64 random bits.
+func (s *Stream) Uint64() uint64 {
+	s.state = SplitMix64(s.state)
+	return s.state
+}
+
+// Float64 returns the next draw in [0, 1).
+func (s *Stream) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Int63n returns the next draw in [0, n). It panics if n <= 0. The simple
+// modulo reduction carries a bias below 2^-40 for the millisecond-scale
+// bounds the simulator uses — negligible against the loss probabilities
+// being modeled, and branch-free on the hot path.
+func (s *Stream) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("sim: Int63n with non-positive bound")
+	}
+	return int64(s.Uint64()>>1) % n
+}

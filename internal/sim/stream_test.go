@@ -1,0 +1,72 @@
+package sim
+
+import "testing"
+
+// TestStreamDeterminism pins that draws are a pure function of the seed.
+func TestStreamDeterminism(t *testing.T) {
+	a := NewStream(42)
+	b := NewStream(42)
+	for i := 0; i < 1000; i++ {
+		if x, y := a.Uint64(), b.Uint64(); x != y {
+			t.Fatalf("draw %d diverged: %d vs %d", i, x, y)
+		}
+	}
+}
+
+// TestStreamAdjacentSeedsDecorrelated checks the seed mix: streams seeded
+// with consecutive integers must not share their first draws.
+func TestStreamAdjacentSeedsDecorrelated(t *testing.T) {
+	seen := make(map[uint64]uint64)
+	for seed := uint64(0); seed < 1000; seed++ {
+		s := NewStream(seed)
+		v := s.Uint64()
+		if prev, dup := seen[v]; dup {
+			t.Fatalf("seeds %d and %d share first draw %d", prev, seed, v)
+		}
+		seen[v] = seed
+	}
+}
+
+// TestStreamFloat64Range checks Float64 stays in [0,1) and is not constant.
+func TestStreamFloat64Range(t *testing.T) {
+	s := NewStream(7)
+	var sum float64
+	for i := 0; i < 10000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v outside [0,1)", v)
+		}
+		sum += v
+	}
+	if mean := sum / 10000; mean < 0.45 || mean > 0.55 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+// TestStreamInt63n checks the bound and a rough uniformity.
+func TestStreamInt63n(t *testing.T) {
+	s := NewStream(9)
+	counts := make([]int, 10)
+	for i := 0; i < 100000; i++ {
+		v := s.Int63n(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Int63n(10) = %d", v)
+		}
+		counts[v]++
+	}
+	for d, c := range counts {
+		if c < 9000 || c > 11000 {
+			t.Fatalf("digit %d drawn %d times out of 100000, want ~10000", d, c)
+		}
+	}
+}
+
+func TestStreamInt63nPanicsOnBadBound(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Int63n(0) did not panic")
+		}
+	}()
+	s := NewStream(1)
+	s.Int63n(0)
+}

@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check vet lint fmt-check build test race benchsmoke benchcmp scale-smoke bench fmt
+.PHONY: check vet lint fmt-check build test race benchsmoke benchcmp scale-smoke fuzz-smoke live-smoke conformance bench fmt
 
 ## check: the pre-PR gate. Run this before sending any change for review.
-check: vet lint fmt-check build test race benchsmoke benchcmp scale-smoke
+check: vet lint fmt-check build test race benchsmoke benchcmp scale-smoke fuzz-smoke live-smoke
 	@echo "check: all gates passed"
 
 vet:
@@ -66,6 +66,28 @@ scale-smoke:
 	echo "$$a"; \
 	if [ "$$a" != "$$b" ]; then echo "scale-smoke: HASH MISMATCH between -shards 1 and -shards 4:"; echo "$$b"; exit 1; fi; \
 	echo "scale-smoke: 1-shard and 4-shard hashes identical"
+
+## fuzz-smoke: a short native-fuzz pass over the wire codec's two targets
+## (FuzzDecode: Decode vs DecodeInto differential on hostile bytes;
+## FuzzRoundTrip: decode -> encode fixed point). The committed corpus under
+## internal/wire/testdata/fuzz/ always runs as plain seeds in `make test`;
+## this target additionally mutates for 10s per target to probe new inputs.
+fuzz-smoke:
+	$(GO) test ./internal/wire/ -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime 10s
+	$(GO) test ./internal/wire/ -run '^$$' -fuzz '^FuzzRoundTrip$$' -fuzztime 10s
+
+## live-smoke: the live-transport gate. A 3-node cluster of fdsd daemons on
+## the in-process channel mesh (the deterministic core of the UDP path)
+## forms, one node is crashed, and both survivors must detect it. Plus the
+## differential conformance suite: the simulator and the mesh transport must
+## produce bit-identical traces, wire bytes, states, and energy.
+live-smoke:
+	$(GO) test ./internal/daemon/ -run 'TestLiveSmokeCrashDetection' -count=1 -v
+	$(GO) test ./internal/conformance/ -run 'TestSimAndMeshAreEquivalent' -count=1
+
+## conformance: the full differential suite and transport-fault tests alone.
+conformance:
+	$(GO) test ./internal/conformance/ -count=1 -v
 
 ## bench: the full evaluation harness (slow; regenerates every figure).
 bench:

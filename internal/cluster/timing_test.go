@@ -73,3 +73,50 @@ func TestEpochStartSmallIntervalNoFalseSaturation(t *testing.T) {
 		t.Errorf("EpochStart(2^40) = %v, spuriously saturated", got)
 	}
 }
+
+// TestEpochStartSaturationTable sweeps the saturation boundary across
+// several interval scales: for each timing, the largest epoch whose product
+// still fits in int64 must compute exactly, and every epoch past it must pin
+// to the ceiling — with the sequence monotone through the boundary.
+func TestEpochStartSaturationTable(t *testing.T) {
+	cases := []struct {
+		name string
+		tm   Timing
+	}{
+		{"default-10s", DefaultTiming()},
+		{"tight-8ms", Timing{Thop: sim.Time(time.Millisecond), Interval: sim.Time(8 * time.Millisecond)}},
+		{"coarse-1m", Timing{Thop: sim.Time(time.Second), Interval: sim.Time(time.Minute)}},
+		{"one-ns", Timing{Thop: 1, Interval: 8}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			threshold := wire.Epoch(uint64(math.MaxInt64) / uint64(tc.tm.Interval))
+			subCases := []struct {
+				name string
+				e    wire.Epoch
+				want sim.Time
+			}{
+				{"zero", 0, 0},
+				{"one", 1, tc.tm.Interval},
+				{"last-exact", threshold, sim.Time(uint64(tc.tm.Interval) * uint64(threshold))},
+				{"first-saturated", threshold + 1, sim.Time(math.MaxInt64)},
+				{"deep-saturated", threshold * 2, sim.Time(math.MaxInt64)},
+				{"max-epoch", math.MaxUint64, sim.Time(math.MaxInt64)},
+			}
+			prev := sim.Time(-1)
+			for _, sc := range subCases {
+				got := tc.tm.EpochStart(sc.e)
+				if got != sc.want {
+					t.Errorf("%s: EpochStart(%d) = %v, want %v", sc.name, sc.e, got, sc.want)
+				}
+				if got < 0 {
+					t.Errorf("%s: EpochStart(%d) = %v went negative", sc.name, sc.e, got)
+				}
+				if got < prev {
+					t.Errorf("%s: EpochStart not monotone (%v after %v)", sc.name, got, prev)
+				}
+				prev = got
+			}
+		})
+	}
+}

@@ -1,0 +1,135 @@
+package conformance
+
+import (
+	"strings"
+	"testing"
+
+	"clusterfds/internal/sim"
+	"clusterfds/internal/trace"
+	"clusterfds/internal/wire"
+)
+
+// base is the scripted scenario the differential suite replays: a dozen
+// hosts, realistic loss, five epochs, and two fail-stops — one mid-epoch,
+// one exactly on an epoch boundary (the boot/crash alignment the paper's
+// fail-stop assumption singles out).
+func base(seed int64) Scenario {
+	const phi = 10 * 1e9 // DefaultTiming Interval in sim.Time units
+	return Scenario{
+		Seed:   seed,
+		Nodes:  12,
+		Loss:   0.05,
+		Epochs: 5,
+		Crashes: []Crash{
+			{Node: 3, At: sim.Time(2*phi + phi/2)},
+			{Node: 7, At: sim.Time(3 * phi)},
+		},
+	}
+}
+
+// TestSimAndMeshAreEquivalent is the headline differential check: the
+// simulator backend and the mesh backend must produce the identical trace
+// event sequence, the identical global wire-byte message sequence, the
+// identical final protocol state on every host, and the identical energy
+// spend — for several seeds.
+func TestSimAndMeshAreEquivalent(t *testing.T) {
+	for _, seed := range []int64{1, 2, 7, 42} {
+		sc := base(seed)
+		simRes := RunSim(sc)
+		meshRes := RunMesh(sc)
+		if d := Diff(simRes, meshRes); d != "" {
+			t.Fatalf("seed %d: sim and mesh diverge:\n%s", seed, d)
+		}
+	}
+}
+
+// TestScenarioIsNonTrivial guards the harness against vacuity: the scripted
+// scenario must actually exercise the stack — traffic flows, losses happen,
+// clusters form, and the crashed hosts are detected.
+func TestScenarioIsNonTrivial(t *testing.T) {
+	res := RunSim(base(1))
+	if len(res.Sends) == 0 {
+		t.Fatal("scenario produced no traffic")
+	}
+	counts := map[trace.EventType]int{}
+	for _, e := range res.Trace {
+		counts[e.Type]++
+	}
+	for _, want := range []trace.EventType{
+		trace.TypeSend, trace.TypeDeliver, trace.TypeDrop, trace.TypeCrash,
+		trace.TypeCHElected, trace.TypeDetect,
+	} {
+		if counts[want] == 0 {
+			t.Errorf("scenario produced no %q events", want)
+		}
+	}
+	// Both crashed hosts must end up in some survivor's failed set.
+	for _, crashed := range []string{"3", "7"} {
+		found := false
+		for i, st := range res.States {
+			if i == 2 || i == 6 { // the crashed hosts themselves
+				continue
+			}
+			if strings.Contains(st, crashed) && strings.Contains(st, "failed=[") &&
+				strings.Contains(failedList(st), crashed) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no survivor detected crashed node %s; states:\n%s",
+				crashed, strings.Join(res.States, "\n"))
+		}
+	}
+}
+
+// failedList extracts the "failed=[...]" list from a rendered state.
+func failedList(st string) string {
+	_, rest, ok := strings.Cut(st, "failed=[")
+	if !ok {
+		return ""
+	}
+	list, _, _ := strings.Cut(rest, "]")
+	return list
+}
+
+// TestDiffDetectsDivergence is the negative control: the comparator must
+// actually fire when the two runs differ, otherwise the equivalence test
+// proves nothing.
+func TestDiffDetectsDivergence(t *testing.T) {
+	sc := base(1)
+	ref := RunSim(sc)
+
+	diffLoss := sc
+	diffLoss.Loss = 0.10
+	if d := Diff(ref, RunMesh(diffLoss)); d == "" {
+		t.Error("comparator missed a loss-probability divergence")
+	}
+
+	diffSeed := sc
+	diffSeed.Seed = 99
+	if d := Diff(ref, RunMesh(diffSeed)); d == "" {
+		t.Error("comparator missed a seed divergence")
+	}
+
+	diffCrash := sc
+	diffCrash.Crashes = diffCrash.Crashes[:1]
+	if d := Diff(ref, RunMesh(diffCrash)); d == "" {
+		t.Error("comparator missed a crash-script divergence")
+	}
+}
+
+// TestRecorderCapturesDecodableBytes pins that the recorded send stream is
+// real wire traffic: every recorded payload decodes, and round-trips.
+func TestRecorderCapturesDecodableBytes(t *testing.T) {
+	res := RunSim(base(2))
+	for i, s := range res.Sends {
+		m, err := wire.Decode(s.Bytes)
+		if err != nil {
+			t.Fatalf("send[%d] from %v does not decode: %v", i, s.From, err)
+		}
+		if got := wire.Encode(m); string(got) != string(s.Bytes) {
+			t.Fatalf("send[%d] does not round-trip", i)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+// Package daemon is the engine of cmd/fdsd: one live host of the
+// cluster-based failure detection service, assembled from the same protocol
+// stack the simulator runs (cluster formation, FDS, inter-cluster
+// forwarding) bound to a transport.Link instead of the simulated radio.
+//
+// The daemon keeps the sans-I/O discipline: protocol code runs on a private
+// virtual-time sim.Kernel that the driver advances to track either the wall
+// clock (Run, used by cmd/fdsd) or a test's schedule (AdvanceTo/Poll, used
+// by the in-process mesh tests). Wall time and sockets never reach the
+// protocol core, so a daemon's state after a given message history is a
+// pure function of (history, seed) — which is what makes the final state
+// dump on shutdown, and the tests that assert on it, deterministic.
+package daemon
+
+import (
+	"fmt"
+	"io"
+	"slices"
+
+	"clusterfds/internal/cluster"
+	"clusterfds/internal/fds"
+	"clusterfds/internal/geo"
+	"clusterfds/internal/intercluster"
+	"clusterfds/internal/node"
+	"clusterfds/internal/sim"
+	"clusterfds/internal/trace"
+	"clusterfds/internal/transport"
+	"clusterfds/internal/wire"
+)
+
+// Config parameterizes one daemon.
+type Config struct {
+	// ID is this node's NID. Required, nonzero.
+	ID wire.NodeID
+	// Seed seeds the daemon's private kernel (jitter, backoff draws).
+	Seed int64
+	// Timing is the shared protocol schedule. Zero means DefaultTiming.
+	Timing cluster.Timing
+	// Peers is the static roster of remote NIDs expected on the link; it
+	// plays the role of the radio neighborhood.
+	Peers []wire.NodeID
+	// Energy is the energy model. Zero means DefaultEnergy.
+	Energy transport.EnergyParams
+	// Trace receives host and transport events (nil for none).
+	Trace trace.Sink
+	// BootAt delays Boot to the given virtual time (0 boots immediately),
+	// so tests can pin the epoch-boundary boot semantics.
+	BootAt sim.Time
+}
+
+// Daemon is one live FDS host.
+type Daemon struct {
+	cfg    Config
+	kernel *sim.Kernel
+	link   transport.Link
+	lt     *transport.LinkTransport
+	host   *node.Host
+	cl     *cluster.Protocol
+	fds    *fds.Protocol
+	ic     *intercluster.Protocol
+}
+
+// New assembles a daemon over the given link. The full stack is wired and
+// (unless BootAt is set) booted at virtual time zero; no traffic flows
+// until the driver advances the kernel.
+func New(cfg Config, link transport.Link) *Daemon {
+	if cfg.ID == wire.NoNode {
+		panic("daemon: config needs a nonzero ID")
+	}
+	if cfg.Timing == (cluster.Timing{}) {
+		cfg.Timing = cluster.DefaultTiming()
+	}
+	if cfg.Energy == (transport.EnergyParams{}) {
+		cfg.Energy = transport.DefaultEnergy()
+	}
+	k := sim.New(cfg.Seed)
+	var ltOpts []transport.LinkOption
+	var hostOpts []node.Option
+	if cfg.Trace != nil {
+		ltOpts = append(ltOpts, transport.WithLinkTrace(cfg.Trace))
+		hostOpts = append(hostOpts, node.WithTrace(cfg.Trace))
+	}
+	lt := transport.NewLinkTransport(k, link, cfg.Energy, cfg.Peers, ltOpts...)
+	h := node.New(k, lt, cfg.ID, geo.Point{}, hostOpts...)
+
+	ccfg := cluster.DefaultConfig()
+	ccfg.Timing = cfg.Timing
+	cl := cluster.New(ccfg)
+	f := fds.New(fds.DefaultConfig(cfg.Timing), cl)
+	ic := intercluster.New(intercluster.DefaultConfig(cfg.Timing), cl, f)
+	h.Use(cl)
+	h.Use(f)
+	h.Use(ic)
+
+	d := &Daemon{cfg: cfg, kernel: k, link: link, lt: lt, host: h, cl: cl, fds: f, ic: ic}
+	if cfg.BootAt > 0 {
+		k.At(cfg.BootAt, h.Boot)
+	} else {
+		h.Boot()
+	}
+	return d
+}
+
+// ID returns the daemon's NID.
+func (d *Daemon) ID() wire.NodeID { return d.cfg.ID }
+
+// Kernel returns the daemon's virtual-time kernel.
+func (d *Daemon) Kernel() *sim.Kernel { return d.kernel }
+
+// FDS returns the daemon's failure detection service.
+func (d *Daemon) FDS() *fds.Protocol { return d.fds }
+
+// Cluster returns the daemon's cluster-formation protocol.
+func (d *Daemon) Cluster() *cluster.Protocol { return d.cl }
+
+// Transport returns the daemon's link transport.
+func (d *Daemon) Transport() *transport.LinkTransport { return d.lt }
+
+// Crash fail-stops the daemon's host: it goes silent and deaf but its
+// driver can keep advancing the kernel. Tests use this to induce the
+// failure the surviving daemons must detect.
+func (d *Daemon) Crash() { d.host.Crash() }
+
+// Poll drains every currently queued inbound datagram without blocking and
+// delivers each to the protocol stack at the current virtual time.
+// Malformed datagrams are counted by the transport and dropped.
+func (d *Daemon) Poll() {
+	for {
+		select {
+		case p, ok := <-d.link.Packets():
+			if !ok {
+				return
+			}
+			_ = d.lt.Inject(p)
+		default:
+			return
+		}
+	}
+}
+
+// AdvanceTo runs the protocol stack up to virtual time t. Cooperative
+// drivers (tests) interleave Poll and AdvanceTo across a fleet of daemons
+// to emulate concurrent execution with no goroutines and no wall time.
+func (d *Daemon) AdvanceTo(t sim.Time) { d.kernel.RunUntil(t) }
+
+// Now returns the daemon's current virtual time.
+func (d *Daemon) Now() sim.Time { return d.kernel.Now() }
+
+// Run drives the daemon against a wall clock until stop is closed (or the
+// link's packet channel closes), then writes the final deterministic state
+// dump to out and returns. This is cmd/fdsd's main loop; tests run it
+// against a FakeWall so nothing sleeps on real time.
+//
+// The loop keeps the kernel's virtual clock tracking wall.Elapsed(): it
+// sleeps exactly until the next protocol timer is due (sim.Kernel.
+// NextEventAt) or a datagram arrives, whichever is first.
+func (d *Daemon) Run(wall transport.WallClock, stop <-chan struct{}, out io.Writer) error {
+	for {
+		var timer <-chan struct{}
+		if next, ok := d.kernel.NextEventAt(); ok {
+			timer = wall.After(next - wall.Elapsed())
+		}
+		select {
+		case <-stop:
+			d.kernel.RunUntil(wall.Elapsed())
+			return d.DumpState(out)
+		case p, ok := <-d.link.Packets():
+			if !ok {
+				d.kernel.RunUntil(wall.Elapsed())
+				return d.DumpState(out)
+			}
+			d.kernel.RunUntil(wall.Elapsed())
+			_ = d.lt.Inject(p)
+		case <-timer:
+			d.kernel.RunUntil(wall.Elapsed())
+		}
+	}
+}
+
+// DumpState writes a deterministic snapshot of the daemon's protocol state:
+// every list sorted, every field a pure function of the message history and
+// seed. Two daemons fed the same history dump identical bytes, which the
+// graceful-shutdown test pins.
+func (d *Daemon) DumpState(w io.Writer) error {
+	v := d.cl.View()
+	role := "unclustered"
+	if v.IsCH {
+		role = "clusterhead"
+	} else if v.Marked {
+		role = fmt.Sprintf("member of %v", v.CH)
+	}
+	suspected := append([]wire.NodeID(nil), d.fds.KnownFailed()...)
+	slices.Sort(suspected)
+	members := append([]wire.NodeID(nil), v.Members...)
+	slices.Sort(members)
+	_, err := fmt.Fprintf(w,
+		"fdsd node %v\n  vtime: %v\n  epoch: %v\n  role: %s\n  members: %v\n  dchs: %v\n  suspected: %v\n  update-received: %v\n  bad-datagrams: %v\n",
+		d.cfg.ID, d.kernel.Now(), d.fds.Epoch(), role, members, v.DCHs, suspected,
+		d.fds.UpdateReceived(), d.lt.BadDatagrams())
+	return err
+}

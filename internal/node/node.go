@@ -1,5 +1,5 @@
 // Package node implements the host runtime: a fail-stop process with a
-// position, an energy budget (delegated to the radio medium's meter), a
+// position, an energy budget (delegated to the transport's meter), a
 // stack of protocols, and crash-aware timers.
 //
 // Hosts follow the paper's fail-stop model (Section 2.2): a crashed host
@@ -20,9 +20,9 @@ import (
 	"math/rand"
 
 	"clusterfds/internal/geo"
-	"clusterfds/internal/radio"
 	"clusterfds/internal/sim"
 	"clusterfds/internal/trace"
+	"clusterfds/internal/transport"
 	"clusterfds/internal/wire"
 )
 
@@ -38,13 +38,17 @@ type Protocol interface {
 	Handle(h *Host, m wire.Message, from wire.NodeID)
 }
 
-// Host is one network node. It implements radio.Receiver.
+// Host is one network node. It implements transport.Receiver and is
+// transport-agnostic: the same Host (and the same protocol stack above it)
+// runs on the simulated radio medium, the deterministic in-process mesh, or
+// a live UDP link, because it touches time, randomness, and the network only
+// through the transport.Runtime and transport.Transport interfaces.
 type Host struct {
-	id     wire.NodeID
-	pos    geo.Point
-	kernel *sim.Kernel
-	medium *radio.Medium
-	sink   trace.Sink
+	id    wire.NodeID
+	pos   geo.Point
+	clock transport.Runtime
+	net   transport.Transport
+	sink  trace.Sink
 
 	protocols []Protocol
 	crashed   bool
@@ -65,36 +69,38 @@ func WithTrace(s trace.Sink) Option {
 	return func(h *Host) { h.sink = s }
 }
 
-// New creates a host, attaches it to the medium, and returns it. The host
-// does not run protocols until Boot is called, so scenarios can finish
-// wiring before any traffic flows.
-func New(kernel *sim.Kernel, medium *radio.Medium, id wire.NodeID, pos geo.Point, opts ...Option) *Host {
+// New creates a host, attaches it to the transport, and returns it. The
+// host does not run protocols until Boot is called, so scenarios can finish
+// wiring before any traffic flows. rt is typically a *sim.Kernel (which
+// implements transport.Runtime directly); net is any transport backend —
+// *radio.Medium, *transport.Mesh, or *transport.LinkTransport.
+func New(rt transport.Runtime, net transport.Transport, id wire.NodeID, pos geo.Point, opts ...Option) *Host {
 	h := &Host{
-		id:     id,
-		pos:    pos,
-		kernel: kernel,
-		medium: medium,
-		sink:   trace.Nop{},
+		id:    id,
+		pos:   pos,
+		clock: rt,
+		net:   net,
+		sink:  trace.Nop{},
 	}
 	for _, opt := range opts {
 		opt(h)
 	}
-	medium.Attach(h)
+	net.Attach(h)
 	return h
 }
 
-// ID implements radio.Receiver.
+// ID implements transport.Receiver.
 func (h *Host) ID() wire.NodeID { return h.id }
 
-// Pos implements radio.Receiver.
+// Pos implements transport.Receiver.
 func (h *Host) Pos() geo.Point { return h.pos }
 
-// Operational implements radio.Receiver: true until the host crashes. A
+// Operational implements transport.Receiver: true until the host crashes. A
 // sleeping host is NOT operational for radio purposes — it can neither send
 // nor receive — but it has not failed.
 func (h *Host) Operational() bool { return !h.crashed && !h.radioOff }
 
-// Deliver implements radio.Receiver by fanning the message out to the
+// Deliver implements transport.Receiver by fanning the message out to the
 // protocol stack.
 func (h *Host) Deliver(m wire.Message, from wire.NodeID) {
 	if h.crashed || !h.started || h.radioOff {
@@ -133,20 +139,20 @@ func (h *Host) Crash() {
 	}
 	h.crashed = true
 	h.sink.Emit(trace.Event{
-		At: h.kernel.Now(), Type: trace.TypeCrash, Node: uint32(h.id),
+		At: h.clock.Now(), Type: trace.TypeCrash, Node: uint32(h.id),
 	})
 }
 
 // Crashed reports whether the host has fail-stopped.
 func (h *Host) Crashed() bool { return h.crashed }
 
-// Send transmits m over the medium. Crashed and sleeping hosts transmit
+// Send transmits m over the transport. Crashed and sleeping hosts transmit
 // nothing.
 func (h *Host) Send(m wire.Message) {
 	if h.crashed || h.radioOff {
 		return
 	}
-	h.medium.Send(h.id, m)
+	h.net.Send(h.id, m)
 }
 
 // SleepRadio turns the radio off until the given absolute virtual time.
@@ -158,7 +164,7 @@ func (h *Host) SleepRadio(until sim.Time) {
 	}
 	h.radioOff = true
 	h.wakeAt = until
-	h.kernel.At(until, func() {
+	h.clock.At(until, func() {
 		// Only the timer matching the latest wake deadline wakes the
 		// radio; stale timers from superseded naps are no-ops.
 		if h.Now() >= h.wakeAt {
@@ -173,7 +179,7 @@ func (h *Host) Asleep() bool { return h.radioOff }
 // After schedules fn on the kernel; the callback is suppressed if the host
 // has crashed by the time it fires (a dead process runs no code).
 func (h *Host) After(d sim.Time, fn func()) sim.Timer {
-	return h.kernel.Schedule(d, func() {
+	return h.clock.Schedule(d, func() {
 		if !h.crashed {
 			fn()
 		}
@@ -181,26 +187,26 @@ func (h *Host) After(d sim.Time, fn func()) sim.Timer {
 }
 
 // Now returns the current virtual time.
-func (h *Host) Now() sim.Time { return h.kernel.Now() }
+func (h *Host) Now() sim.Time { return h.clock.Now() }
 
-// Rand returns the kernel's deterministic random source.
-func (h *Host) Rand() *rand.Rand { return h.kernel.Rand() }
+// Rand returns the runtime's deterministic random source.
+func (h *Host) Rand() *rand.Rand { return h.clock.Rand() }
 
-// Energy returns the host's available energy per the medium's meter.
-func (h *Host) Energy() float64 { return h.medium.Energy(h.id) }
+// Energy returns the host's available energy per the transport's meter.
+func (h *Host) Energy() float64 { return h.net.Energy(h.id) }
 
 // Neighbors returns the operational hosts currently within radio range.
-func (h *Host) Neighbors() []wire.NodeID { return h.medium.Neighbors(h.pos, h.id) }
+func (h *Host) Neighbors() []wire.NodeID { return h.net.Neighbors(h.pos, h.id) }
 
 // Trace emits a structured trace event attributed to this host.
 func (h *Host) Trace(t trace.EventType, detail string) {
-	h.sink.Emit(trace.Event{At: h.kernel.Now(), Type: t, Node: uint32(h.id), Detail: detail})
+	h.sink.Emit(trace.Event{At: h.clock.Now(), Type: t, Node: uint32(h.id), Detail: detail})
 }
 
-// MoveTo repositions the host and informs the medium. Provided for
+// MoveTo repositions the host and informs the transport. Provided for
 // migration extensions; the core experiments keep hosts stationary.
 func (h *Host) MoveTo(p geo.Point) {
 	old := h.pos
 	h.pos = p
-	h.medium.UpdatePos(h.id, old)
+	h.net.UpdatePos(h.id, old)
 }

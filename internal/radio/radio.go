@@ -16,30 +16,22 @@ package radio
 
 import (
 	"fmt"
-	"math"
-	"sort"
 
 	"clusterfds/internal/geo"
 	"clusterfds/internal/metrics"
 	"clusterfds/internal/sim"
 	"clusterfds/internal/trace"
+	"clusterfds/internal/transport"
 	"clusterfds/internal/wire"
 )
 
-// Receiver is the surface a host exposes to the medium.
-type Receiver interface {
-	// ID returns the host's globally unique NID.
-	ID() wire.NodeID
-	// Pos returns the host's current location.
-	Pos() geo.Point
-	// Operational reports whether the host can currently send and receive
-	// (false once crashed — the fail-stop model).
-	Operational() bool
-	// Deliver hands a received message to the host. from is the
-	// transmitting host; under promiscuous receiving the message is
-	// delivered whether or not this host was the intended recipient.
-	Deliver(m wire.Message, from wire.NodeID)
-}
+// Receiver is the surface a host exposes to the medium. It is exactly the
+// sans-I/O boundary's receiver contract: the medium is one Transport
+// backend among several (see internal/transport).
+type Receiver = transport.Receiver
+
+// The medium implements the transport-agnostic network interface.
+var _ transport.Transport = (*Medium)(nil)
 
 // Params configures the medium. Zero values are filled in by Defaults.
 type Params struct {
@@ -93,7 +85,11 @@ type Medium struct {
 	// partition injection).
 	silenced map[wire.NodeID]bool
 
-	energy map[wire.NodeID]*energyMeter
+	// energy delegates to the shared transport meter so the radio backend
+	// and the in-process mesh produce bit-identical energy trajectories
+	// (the FDS forwarding backoff is energy-biased, so this is a
+	// determinism requirement, not a convenience).
+	energy *transport.Meter
 
 	// metrics is the counter backend. Per-kind counters resolve through the
 	// txCount/rxCount handle arrays so the broadcast hot path performs no
@@ -163,12 +159,6 @@ func init() {
 	}
 }
 
-// energyMeter tracks one host's spend; available energy is computed lazily
-// from the harvest rate and the kernel clock.
-type energyMeter struct {
-	spent float64
-}
-
 // Option customizes a Medium.
 type Option func(*Medium)
 
@@ -207,9 +197,15 @@ func New(kernel *sim.Kernel, params Params, opts ...Option) *Medium {
 		grid:     newGrid(params.Range),
 		linkLoss: make(map[[2]wire.NodeID]float64),
 		silenced: make(map[wire.NodeID]bool),
-		energy:   make(map[wire.NodeID]*energyMeter),
 		scratch:  make(map[wire.NodeID]*wire.DecodeScratch),
 	}
+	m.energy = transport.NewMeter(transport.EnergyParams{
+		TxBaseCost:    params.TxBaseCost,
+		TxByteCost:    params.TxByteCost,
+		RxByteCost:    params.RxByteCost,
+		HarvestRate:   params.HarvestRate,
+		InitialEnergy: params.InitialEnergy,
+	}, kernel)
 	m.deliverFn = m.deliverEvent
 	for _, opt := range opts {
 		opt(m)
@@ -264,7 +260,7 @@ func (m *Medium) Attach(r Receiver) {
 	}
 	m.nodes[id] = r
 	m.grid.insert(id, r.Pos())
-	m.energy[id] = &energyMeter{}
+	m.energy.Track(id)
 	m.scratch[id] = wire.NewDecodeScratch()
 }
 
@@ -470,55 +466,24 @@ func (m *Medium) takeDelivery() *delivery {
 }
 
 // chargeTx debits transmission energy.
-func (m *Medium) chargeTx(id wire.NodeID, bytes int) {
-	if e := m.energy[id]; e != nil {
-		e.spent += m.params.TxBaseCost + m.params.TxByteCost*float64(bytes)
-	}
-}
+func (m *Medium) chargeTx(id wire.NodeID, bytes int) { m.energy.ChargeTx(id, bytes) }
 
 // chargeRx debits reception energy.
-func (m *Medium) chargeRx(id wire.NodeID, bytes int) {
-	if e := m.energy[id]; e != nil {
-		e.spent += m.params.RxByteCost * float64(bytes)
-	}
-}
+func (m *Medium) chargeRx(id wire.NodeID, bytes int) { m.energy.ChargeRx(id, bytes) }
 
 // Energy returns the host's available energy: initial budget plus harvest
 // minus spend, floored at zero. The peer-forwarding backoff consults this
 // (paper Section 4.2: the waiting period is "inversely proportional to the
 // node's remaining energy").
-func (m *Medium) Energy(id wire.NodeID) float64 {
-	e, ok := m.energy[id]
-	if !ok {
-		return 0
-	}
-	harvested := m.params.HarvestRate * m.kernel.Now().Seconds()
-	return math.Max(0, m.params.InitialEnergy+harvested-e.spent)
-}
+func (m *Medium) Energy(id wire.NodeID) float64 { return m.energy.Energy(id) }
 
 // EnergySpent returns the host's cumulative energy expenditure.
-func (m *Medium) EnergySpent(id wire.NodeID) float64 {
-	if e, ok := m.energy[id]; ok {
-		return e.spent
-	}
-	return 0
-}
+func (m *Medium) EnergySpent(id wire.NodeID) float64 { return m.energy.Spent(id) }
 
 // TotalEnergySpent sums expenditure over all hosts — the system-level cost
 // measure in the baseline comparisons. Hosts are summed in NID order so the
 // floating-point total is identical across runs.
-func (m *Medium) TotalEnergySpent() float64 {
-	ids := make([]wire.NodeID, 0, len(m.energy))
-	for id := range m.energy {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	var t float64
-	for _, id := range ids {
-		t += m.energy[id].spent
-	}
-	return t
-}
+func (m *Medium) TotalEnergySpent() float64 { return m.energy.TotalSpent() }
 
 // Counters returns a snapshot of the medium's tallies (tx/rx per kind,
 // bytes, drops). Only nonzero tallies appear, matching the historical

@@ -325,6 +325,11 @@ func (k *Kernel) RunUntil(deadline Time) Time {
 	return k.now
 }
 
+// NextEventAt returns the timestamp of the next live (non-canceled) event,
+// if any. Live drivers (cmd/fdsd's wall-clock pump) use it to sleep exactly
+// until the protocol core next needs to run instead of polling.
+func (k *Kernel) NextEventAt() (Time, bool) { return k.peekTime() }
+
 // peekTime returns the timestamp of the next live event.
 func (k *Kernel) peekTime() (Time, bool) {
 	for k.queue.len() > 0 {

@@ -1,0 +1,116 @@
+package transport
+
+import (
+	"math"
+	"sort"
+
+	"clusterfds/internal/wire"
+)
+
+// EnergyParams parameterizes the per-host energy model in abstract energy
+// units (paper Section 2.1: hosts spend energy per transmission and per
+// received byte, and harvest it back from solar cells).
+type EnergyParams struct {
+	// TxBaseCost is the fixed cost of keying the radio for one transmission.
+	TxBaseCost float64
+	// TxByteCost and RxByteCost are the per-byte costs of sending and
+	// receiving.
+	TxByteCost, RxByteCost float64
+	// HarvestRate is energy units gained per second of virtual time.
+	HarvestRate float64
+	// InitialEnergy is each host's starting budget.
+	InitialEnergy float64
+}
+
+// DefaultEnergy returns the energy model used throughout the experiments
+// (identical to radio.Defaults).
+func DefaultEnergy() EnergyParams {
+	return EnergyParams{
+		TxBaseCost:    10,
+		TxByteCost:    0.5,
+		RxByteCost:    0.2,
+		HarvestRate:   5,
+		InitialEnergy: 100000,
+	}
+}
+
+// meterCell tracks one host's cumulative spend; available energy is computed
+// lazily from the harvest rate and the clock.
+type meterCell struct {
+	spent float64
+}
+
+// Meter is the shared per-host energy meter. Both transport backends (the
+// simulated radio medium and the in-process mesh) delegate to it, so the
+// floating-point arithmetic — and therefore the energy-biased peer-forwarding
+// backoff in fds — is bit-identical regardless of backend.
+//
+// Charging an untracked host is a no-op, mirroring the historical radio
+// behaviour for unattached NIDs.
+type Meter struct {
+	params EnergyParams
+	clock  Clock
+	cells  map[wire.NodeID]*meterCell
+}
+
+// NewMeter creates a meter reading virtual time from clock.
+func NewMeter(p EnergyParams, clock Clock) *Meter {
+	return &Meter{params: p, clock: clock, cells: make(map[wire.NodeID]*meterCell)}
+}
+
+// Track starts metering the given host (zero spend). Tracking an
+// already-tracked host is a no-op.
+func (m *Meter) Track(id wire.NodeID) {
+	if _, ok := m.cells[id]; !ok {
+		m.cells[id] = &meterCell{}
+	}
+}
+
+// ChargeTx debits transmission energy: the base keying cost plus the
+// per-byte cost.
+func (m *Meter) ChargeTx(id wire.NodeID, bytes int) {
+	if c := m.cells[id]; c != nil {
+		c.spent += m.params.TxBaseCost + m.params.TxByteCost*float64(bytes)
+	}
+}
+
+// ChargeRx debits reception energy.
+func (m *Meter) ChargeRx(id wire.NodeID, bytes int) {
+	if c := m.cells[id]; c != nil {
+		c.spent += m.params.RxByteCost * float64(bytes)
+	}
+}
+
+// Energy returns the host's available energy: initial budget plus harvest
+// minus spend, floored at zero. Untracked hosts have zero energy.
+func (m *Meter) Energy(id wire.NodeID) float64 {
+	c, ok := m.cells[id]
+	if !ok {
+		return 0
+	}
+	harvested := m.params.HarvestRate * m.clock.Now().Seconds()
+	return math.Max(0, m.params.InitialEnergy+harvested-c.spent)
+}
+
+// Spent returns the host's cumulative energy expenditure.
+func (m *Meter) Spent(id wire.NodeID) float64 {
+	if c, ok := m.cells[id]; ok {
+		return c.spent
+	}
+	return 0
+}
+
+// TotalSpent sums expenditure over all tracked hosts in NID order, so the
+// floating-point total is identical across runs.
+func (m *Meter) TotalSpent() float64 {
+	ids := make([]wire.NodeID, 0, len(m.cells))
+	for id := range m.cells {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var t float64
+	for _, id := range ids {
+		t += m.cells[id].spent
+	}
+	return t
+}

@@ -1,0 +1,145 @@
+// Package transport defines the sans-I/O boundary of the protocol stack.
+//
+// The failure detection service, the cluster-formation algorithm, and the
+// inter-cluster forwarder are pure message-driven state machines: they
+// consume delivered messages and timer firings, and they produce sends and
+// new timers. Everything impure — where time comes from, where randomness
+// comes from, and how bytes move between hosts — enters through the three
+// interfaces declared here:
+//
+//	Clock      schedules callbacks on a virtual timeline (sim.Kernel, or a
+//	           kernel paced against the wall clock by a live driver).
+//	Rand       is a seeded randomness source (*rand.Rand satisfies it).
+//	Transport  carries encoded messages between hosts.
+//
+// The simulated radio medium (internal/radio) is one Transport backend; the
+// in-process Mesh and the UDP/channel links in this package are the others.
+// All of them move the same internal/wire bytes, so a protocol binary-level
+// conformance harness (internal/conformance) can assert that the state
+// machines behave identically regardless of which backend feeds them. The
+// fdslint walltime analyzer polices this boundary mechanically: inside the
+// deterministic packages the only legal clock is a Clock and the only legal
+// randomness is a seeded Rand.
+package transport
+
+import (
+	"math/rand"
+
+	"clusterfds/internal/geo"
+	"clusterfds/internal/sim"
+	"clusterfds/internal/wire"
+)
+
+// Clock is the scheduling surface the protocol core runs on: a readable
+// virtual now plus cancellable one-shot timers. *sim.Kernel implements it.
+// Implementations must run callbacks one at a time (the protocol core is
+// lock-free by construction) and in (time, schedule-order) order.
+type Clock interface {
+	// Now returns the current virtual time.
+	Now() sim.Time
+	// Schedule runs fn after the given delay and returns a cancellable
+	// handle. Negative delays fire at the current instant.
+	Schedule(delay sim.Time, fn sim.Handler) sim.Timer
+	// At runs fn at the given absolute virtual time, which must not be in
+	// the past.
+	At(at sim.Time, fn sim.Handler) sim.Timer
+}
+
+// Rand is the randomness surface of the protocol core. It is the subset of
+// *rand.Rand the stack draws from; every implementation must be explicitly
+// seeded so a run is a pure function of (scenario, seed) — the walltime
+// analyzer forbids the global math/rand source in the deterministic
+// packages.
+type Rand interface {
+	Int63n(n int64) int64
+	Intn(n int) int
+	Float64() float64
+	Perm(n int) []int
+	Shuffle(n int, swap func(i, j int))
+}
+
+// Runtime is what a host binds to: a clock plus the seeded random source the
+// clock's timeline was built with. *sim.Kernel implements it directly, both
+// under the simulator and under a live driver that paces a kernel against
+// the wall clock.
+type Runtime interface {
+	Clock
+	// Rand returns the runtime's deterministic random source.
+	Rand() *rand.Rand
+}
+
+// Compile-time checks: the simulation kernel is a Runtime, and *rand.Rand
+// is a Rand.
+var (
+	_ Runtime = (*sim.Kernel)(nil)
+	_ Rand    = (*rand.Rand)(nil)
+)
+
+// Receiver is the surface a host exposes to a transport.
+type Receiver interface {
+	// ID returns the host's globally unique NID.
+	ID() wire.NodeID
+	// Pos returns the host's current location. Transports without geometry
+	// (Mesh, LinkTransport) ignore it.
+	Pos() geo.Point
+	// Operational reports whether the host can currently send and receive
+	// (false once crashed — the fail-stop model — or radio-asleep).
+	Operational() bool
+	// Deliver hands a received message to the host. The message may be
+	// backed by the transport's decode scratch and is valid only for the
+	// duration of the call; receivers that keep any part of it must copy.
+	Deliver(m wire.Message, from wire.NodeID)
+}
+
+// Transport carries messages between hosts. It is the full surface
+// node.Host needs from the network layer; *radio.Medium, *Mesh's per-node
+// ports, and *LinkTransport implement it.
+//
+// Implementations are driven from Clock callbacks and must not be assumed
+// safe for concurrent use; in live mode the driver serializes everything
+// onto one goroutine.
+type Transport interface {
+	// Attach registers a host with the transport. Attaching two hosts with
+	// the same NID is a configuration error and panics.
+	Attach(r Receiver)
+	// Send transmits m on behalf of from. Per the promiscuous model the
+	// message is offered to every reachable host; delivery is best-effort.
+	Send(from wire.NodeID, m wire.Message)
+	// Energy returns the host's available energy budget (the peer-forwarding
+	// backoff consults it). Transports without an energy model return a
+	// constant.
+	Energy(id wire.NodeID) float64
+	// Neighbors returns the hosts currently reachable from the given point,
+	// excluding exclude.
+	Neighbors(at geo.Point, exclude wire.NodeID) []wire.NodeID
+	// UpdatePos tells the transport a host moved from old to its current
+	// Pos. Transports without geometry ignore it.
+	UpdatePos(id wire.NodeID, old geo.Point)
+}
+
+// Packet is one received datagram: the sender's NID and the encoded
+// message bytes (internal/wire format, no framing).
+type Packet struct {
+	From    wire.NodeID
+	Payload []byte
+}
+
+// Broadcaster is the outbound half of a link: it offers one encoded message
+// to every peer. The payload is owned by the caller and valid only for the
+// duration of the call; implementations that retain it must copy.
+type Broadcaster interface {
+	Broadcast(from wire.NodeID, payload []byte) error
+}
+
+// Link is a full-duplex best-effort broadcast link for a live node: UDP on
+// localhost (UDPLink) or an in-process channel mesh (ChanMesh). Inbound
+// packets surface on Packets; the payload of a received Packet is owned by
+// the receiver until the next channel receive.
+type Link interface {
+	Broadcaster
+	// Packets returns the inbound datagram stream. The channel is closed
+	// when the link is closed.
+	Packets() <-chan Packet
+	// Close tears the link down and closes the packet channel.
+	Close() error
+}

@@ -1,0 +1,376 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"clusterfds/internal/geo"
+	"clusterfds/internal/sim"
+	"clusterfds/internal/wire"
+)
+
+// stubReceiver is a minimal Receiver recording deliveries.
+type stubReceiver struct {
+	id   wire.NodeID
+	down bool
+	got  []wire.Message
+	from []wire.NodeID
+}
+
+func (r *stubReceiver) ID() wire.NodeID   { return r.id }
+func (r *stubReceiver) Pos() geo.Point    { return geo.Point{} }
+func (r *stubReceiver) Operational() bool { return !r.down }
+func (r *stubReceiver) Deliver(m wire.Message, from wire.NodeID) {
+	r.got = append(r.got, wire.Clone(m))
+	r.from = append(r.from, from)
+}
+
+func TestFakeWallAdvanceFiresDueWaiters(t *testing.T) {
+	w := NewFakeWall()
+	if w.Elapsed() != 0 {
+		t.Fatalf("fresh fake wall at %v, want 0", w.Elapsed())
+	}
+	a := w.After(10 * time.Millisecond)
+	b := w.After(30 * time.Millisecond)
+	closed := func(ch <-chan struct{}) bool {
+		select {
+		case <-ch:
+			return true
+		default:
+			return false
+		}
+	}
+	if closed(a) || closed(b) {
+		t.Fatal("waiters fired before any Advance")
+	}
+	w.Advance(10 * time.Millisecond)
+	if !closed(a) {
+		t.Error("10ms waiter did not fire at +10ms")
+	}
+	if closed(b) {
+		t.Error("30ms waiter fired early")
+	}
+	w.Advance(25 * time.Millisecond)
+	if !closed(b) {
+		t.Error("30ms waiter did not fire at +35ms")
+	}
+	if w.Elapsed() != 35*time.Millisecond {
+		t.Errorf("Elapsed = %v, want 35ms", w.Elapsed())
+	}
+}
+
+func TestFakeWallNonPositiveDelayIsClosed(t *testing.T) {
+	w := NewFakeWall()
+	for _, d := range []sim.Time{0, -time.Second} {
+		select {
+		case <-w.After(d):
+		default:
+			t.Errorf("After(%v) not immediately closed", d)
+		}
+	}
+}
+
+func TestChanMeshBroadcastReachesAllOthers(t *testing.T) {
+	cm := NewChanMesh()
+	l1 := cm.Join(1)
+	l2 := cm.Join(2)
+	l3 := cm.Join(3)
+	if err := l1.Broadcast(1, []byte{0xAA, 0xBB}); err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range []*ChanLink{l2, l3} {
+		select {
+		case p := <-l.Packets():
+			if p.From != 1 || len(p.Payload) != 2 || p.Payload[0] != 0xAA {
+				t.Errorf("port %v got %+v", l.ID(), p)
+			}
+		default:
+			t.Errorf("port %v got nothing", l.ID())
+		}
+	}
+	select {
+	case p := <-l1.Packets():
+		t.Errorf("sender received its own broadcast: %+v", p)
+	default:
+	}
+}
+
+func TestChanMeshPayloadsDoNotAlias(t *testing.T) {
+	cm := NewChanMesh()
+	l1 := cm.Join(1)
+	l2 := cm.Join(2)
+	buf := []byte{1, 2, 3}
+	if err := l1.Broadcast(1, buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 99 // sender reuses its buffer immediately
+	p := <-l2.Packets()
+	if p.Payload[0] != 1 {
+		t.Error("received payload aliases the sender's reused buffer")
+	}
+}
+
+func TestChanMeshLeaveStopsDelivery(t *testing.T) {
+	cm := NewChanMesh()
+	l1 := cm.Join(1)
+	l2 := cm.Join(2)
+	l2.Close()
+	if err := l1.Broadcast(1, []byte{7}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := <-l2.Packets(); ok {
+		t.Error("closed port still receives datagrams")
+	}
+	// Double close is safe.
+	l2.Close()
+}
+
+func TestChanMeshDropsWhenQueueFull(t *testing.T) {
+	cm := NewChanMesh()
+	l1 := cm.Join(1)
+	l2 := cm.Join(2)
+	for i := 0; i < chanLinkBuffer+10; i++ {
+		if err := l1.Broadcast(1, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := 0
+	for {
+		select {
+		case <-l2.Packets():
+			n++
+			continue
+		default:
+		}
+		break
+	}
+	if n != chanLinkBuffer {
+		t.Errorf("queued %d packets, want exactly the buffer depth %d", n, chanLinkBuffer)
+	}
+}
+
+func TestLinkTransportRoundTrip(t *testing.T) {
+	k := sim.New(1)
+	cm := NewChanMesh()
+	la := cm.Join(1)
+	lb := cm.Join(2)
+	ta := NewLinkTransport(k, la, DefaultEnergy(), []wire.NodeID{2})
+	tb := NewLinkTransport(k, lb, DefaultEnergy(), []wire.NodeID{1})
+	ra := &stubReceiver{id: 1}
+	rb := &stubReceiver{id: 2}
+	ta.Attach(ra)
+	tb.Attach(rb)
+
+	msg := &wire.Heartbeat{NID: 1, Epoch: 3}
+	ta.Send(1, msg)
+	p := <-lb.Packets()
+	if err := tb.Inject(p); err != nil {
+		t.Fatalf("inject: %v", err)
+	}
+	if len(rb.got) != 1 {
+		t.Fatalf("receiver got %d messages, want 1", len(rb.got))
+	}
+	hb, ok := rb.got[0].(*wire.Heartbeat)
+	if !ok || hb.NID != 1 || hb.Epoch != 3 {
+		t.Errorf("delivered %#v, want heartbeat{1,3}", rb.got[0])
+	}
+	if rb.from[0] != 1 {
+		t.Errorf("delivered from %v, want 1", rb.from[0])
+	}
+	// Energy was charged on both ends.
+	if ta.Energy(1) >= DefaultEnergy().InitialEnergy {
+		t.Error("sender was not charged tx energy")
+	}
+	if tb.Energy(2) >= DefaultEnergy().InitialEnergy {
+		t.Error("receiver was not charged rx energy")
+	}
+}
+
+func TestLinkTransportRejectsHostileDatagrams(t *testing.T) {
+	k := sim.New(1)
+	cm := NewChanMesh()
+	l := cm.Join(1)
+	lt := NewLinkTransport(k, l, DefaultEnergy(), nil)
+	r := &stubReceiver{id: 1}
+	lt.Attach(r)
+
+	cases := []Packet{
+		{From: 2, Payload: []byte{}},                             // empty
+		{From: 2, Payload: []byte{0xFF, 1, 2, 3}},                // unknown kind
+		{From: 2, Payload: []byte{0}},                            // truncated
+		{From: 0, Payload: wire.Encode(&wire.Heartbeat{NID: 9})}, // NID 0
+		{From: 1, Payload: wire.Encode(&wire.Heartbeat{NID: 1})}, // reflection
+	}
+	for i, p := range cases {
+		if err := lt.Inject(p); err == nil {
+			t.Errorf("case %d: hostile datagram accepted", i)
+		}
+	}
+	if len(r.got) != 0 {
+		t.Errorf("hostile datagrams reached the protocol stack: %d deliveries", len(r.got))
+	}
+	if lt.BadDatagrams() != int64(len(cases)) {
+		t.Errorf("BadDatagrams = %d, want %d", lt.BadDatagrams(), len(cases))
+	}
+}
+
+func TestLinkTransportGatesOnOperational(t *testing.T) {
+	k := sim.New(1)
+	cm := NewChanMesh()
+	la := cm.Join(1)
+	lb := cm.Join(2)
+	ta := NewLinkTransport(k, la, DefaultEnergy(), []wire.NodeID{2})
+	ra := &stubReceiver{id: 1, down: true}
+	ta.Attach(ra)
+
+	// Down host sends nothing.
+	ta.Send(1, &wire.Heartbeat{NID: 1})
+	select {
+	case <-lb.Packets():
+		t.Error("non-operational host transmitted")
+	default:
+	}
+	// Down host receives nothing (and that is not an error).
+	if err := ta.Inject(Packet{From: 2, Payload: wire.Encode(&wire.Heartbeat{NID: 2})}); err != nil {
+		t.Errorf("inject to down host errored: %v", err)
+	}
+	if len(ra.got) != 0 {
+		t.Error("non-operational host received a delivery")
+	}
+	// Sends from a foreign NID are ignored.
+	ta.Send(7, &wire.Heartbeat{NID: 7})
+	select {
+	case <-lb.Packets():
+		t.Error("transport sent on behalf of a foreign NID")
+	default:
+	}
+}
+
+func TestLinkTransportNeighborsIsRoster(t *testing.T) {
+	k := sim.New(1)
+	cm := NewChanMesh()
+	lt := NewLinkTransport(k, cm.Join(1), DefaultEnergy(), []wire.NodeID{2, 3, 4})
+	got := lt.Neighbors(geo.Point{}, 3)
+	want := []wire.NodeID{2, 4}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("Neighbors = %v, want %v", got, want)
+	}
+}
+
+func TestUDPLinkRoundTrip(t *testing.T) {
+	la, err := NewUDPLink(1, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Skipf("cannot bind UDP in this environment: %v", err)
+	}
+	defer la.Close()
+	lb, err := NewUDPLink(2, "127.0.0.1:0", []string{la.LocalAddr().String()})
+	if err != nil {
+		t.Skipf("cannot bind UDP in this environment: %v", err)
+	}
+	defer lb.Close()
+
+	payload := wire.Encode(&wire.Heartbeat{NID: 2, Epoch: 5})
+	if err := lb.Broadcast(2, payload); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case p := <-la.Packets():
+		if p.From != 2 {
+			t.Errorf("From = %v, want 2", p.From)
+		}
+		m, err := wire.Decode(p.Payload)
+		if err != nil {
+			t.Fatalf("payload does not decode: %v", err)
+		}
+		if hb := m.(*wire.Heartbeat); hb.NID != 2 || hb.Epoch != 5 {
+			t.Errorf("decoded %+v, want heartbeat{2,5}", hb)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("datagram never arrived")
+	}
+}
+
+func TestUDPLinkCloseClosesPackets(t *testing.T) {
+	l, err := NewUDPLink(1, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Skipf("cannot bind UDP in this environment: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case _, ok := <-l.Packets():
+		if ok {
+			t.Error("packet received after close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("packet channel never closed")
+	}
+	// Double close is safe.
+	l.Close()
+}
+
+func TestMeterMatchesRadioArithmetic(t *testing.T) {
+	k := sim.New(1)
+	p := DefaultEnergy()
+	m := NewMeter(p, k)
+	m.Track(1)
+	if got := m.Energy(1); got != p.InitialEnergy {
+		t.Fatalf("fresh meter energy %v, want %v", got, p.InitialEnergy)
+	}
+	m.ChargeTx(1, 100)
+	m.ChargeRx(1, 40)
+	wantSpent := p.TxBaseCost + p.TxByteCost*100 + p.RxByteCost*40
+	if got := m.Spent(1); got != wantSpent {
+		t.Errorf("Spent = %v, want %v", got, wantSpent)
+	}
+	// Charging an untracked host is a no-op; its energy reads zero.
+	m.ChargeTx(9, 1000)
+	if m.Spent(9) != 0 || m.Energy(9) != 0 {
+		t.Error("untracked host has nonzero meter state")
+	}
+	m.Track(2)
+	m.ChargeTx(2, 10)
+	if got, want := m.TotalSpent(), wantSpent+p.TxBaseCost+p.TxByteCost*10; got != want {
+		t.Errorf("TotalSpent = %v, want %v", got, want)
+	}
+}
+
+func TestMeshAttachRejectsBadIDs(t *testing.T) {
+	k := sim.New(1)
+	m := NewMesh(k, DefaultMeshParams(0))
+	m.Attach(&stubReceiver{id: 1})
+	mustPanic(t, "NID 0", func() { m.Attach(&stubReceiver{id: 0}) })
+	mustPanic(t, "duplicate", func() { m.Attach(&stubReceiver{id: 1}) })
+}
+
+func TestMeshDeliversWithDelayBounds(t *testing.T) {
+	k := sim.New(3)
+	params := DefaultMeshParams(0)
+	m := NewMesh(k, params)
+	a := &stubReceiver{id: 1}
+	b := &stubReceiver{id: 2}
+	m.Attach(a)
+	m.Attach(b)
+	m.Send(1, &wire.Heartbeat{NID: 1, Epoch: 1})
+	if len(b.got) != 0 {
+		t.Fatal("delivery before any time passed")
+	}
+	k.RunUntil(params.MaxDelay)
+	if len(b.got) != 1 {
+		t.Fatalf("got %d deliveries within MaxDelay, want 1", len(b.got))
+	}
+	if len(a.got) != 0 {
+		t.Error("sender heard its own transmission")
+	}
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("no panic for %s", what)
+		}
+	}()
+	fn()
+}

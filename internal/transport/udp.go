@@ -1,0 +1,128 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+
+	"clusterfds/internal/wire"
+)
+
+// udpFrameHeader is the datagram framing: a 4-byte little-endian sender NID
+// prefix, then the wire-encoded message. UDP source addresses are not
+// identities (NAT, multi-homing), so the sender says who it is; the protocol
+// stack treats the claim like any other untrusted field — the FDS tolerates
+// lying nodes no worse than lossy ones, and undecodable payloads are
+// rejected by LinkTransport.Inject.
+const udpFrameHeader = 4
+
+// udpReadBuffer comfortably exceeds the largest wire message.
+const udpReadBuffer = 64 * 1024
+
+// udpQueueDepth is the inbound packet queue depth; the reader drops (like
+// the kernel socket buffer would) rather than block when the daemon's event
+// loop falls behind.
+const udpQueueDepth = 1024
+
+// UDPLink is a Link over UDP datagrams: one socket, a static peer list, and
+// a reader goroutine that surfaces inbound frames on Packets. It is the
+// live-deployment backend behind cmd/fdsd.
+type UDPLink struct {
+	id    wire.NodeID
+	conn  *net.UDPConn
+	peers []*net.UDPAddr
+
+	packets chan Packet
+	txMu    sync.Mutex
+	txBuf   []byte
+
+	closeOnce sync.Once
+}
+
+// NewUDPLink binds listen (e.g. "127.0.0.1:9001") and returns a link that
+// broadcasts to the given peer addresses. The reader goroutine runs until
+// Close.
+func NewUDPLink(id wire.NodeID, listen string, peerAddrs []string) (*UDPLink, error) {
+	if id == wire.NoNode {
+		return nil, fmt.Errorf("transport: udp link needs a nonzero NID")
+	}
+	laddr, err := net.ResolveUDPAddr("udp", listen)
+	if err != nil {
+		return nil, fmt.Errorf("transport: resolve listen %q: %w", listen, err)
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %q: %w", listen, err)
+	}
+	l := &UDPLink{
+		id:      id,
+		conn:    conn,
+		packets: make(chan Packet, udpQueueDepth),
+	}
+	for _, a := range peerAddrs {
+		addr, err := net.ResolveUDPAddr("udp", a)
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("transport: resolve peer %q: %w", a, err)
+		}
+		l.peers = append(l.peers, addr)
+	}
+	go l.readLoop()
+	return l, nil
+}
+
+// LocalAddr returns the bound socket address (useful with ":0" listens).
+func (l *UDPLink) LocalAddr() net.Addr { return l.conn.LocalAddr() }
+
+// readLoop pumps datagrams from the socket into the packet channel until
+// the socket is closed. Runs in its own goroutine; ReadFromUDP is the only
+// blocking point and Close unblocks it.
+func (l *UDPLink) readLoop() {
+	defer close(l.packets)
+	buf := make([]byte, udpReadBuffer)
+	for {
+		n, _, err := l.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // closed socket (or fatal error): the link is done
+		}
+		if n < udpFrameHeader {
+			continue // runt frame: not even a sender NID
+		}
+		from := wire.NodeID(binary.LittleEndian.Uint32(buf[:udpFrameHeader]))
+		payload := append([]byte(nil), buf[udpFrameHeader:n]...)
+		select {
+		case l.packets <- Packet{From: from, Payload: payload}:
+		default:
+			// Queue full: drop, as the kernel would.
+		}
+	}
+}
+
+// Broadcast implements Broadcaster: frame the payload and send one datagram
+// to every peer. Send errors to individual peers are ignored — UDP is
+// best-effort and a down peer is indistinguishable from a lossy link.
+func (l *UDPLink) Broadcast(from wire.NodeID, payload []byte) error {
+	l.txMu.Lock()
+	defer l.txMu.Unlock()
+	l.txBuf = l.txBuf[:0]
+	l.txBuf = binary.LittleEndian.AppendUint32(l.txBuf, uint32(from))
+	l.txBuf = append(l.txBuf, payload...)
+	for _, addr := range l.peers {
+		_, _ = l.conn.WriteToUDP(l.txBuf, addr)
+	}
+	return nil
+}
+
+// Packets implements Link.
+func (l *UDPLink) Packets() <-chan Packet { return l.packets }
+
+// Close implements Link: closing the socket unblocks the reader, which
+// closes the packet channel.
+func (l *UDPLink) Close() error {
+	var err error
+	l.closeOnce.Do(func() { err = l.conn.Close() })
+	return err
+}
+
+var _ Link = (*UDPLink)(nil)

@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check vet lint fmt-check build test race benchsmoke benchcmp scale-smoke fuzz-smoke live-smoke conformance bench fmt
+.PHONY: check vet lint fmt-check build test race benchsmoke benchcmp scale-smoke baseline-smoke fuzz-smoke live-smoke conformance bench fmt
 
 ## check: the pre-PR gate. Run this before sending any change for review.
-check: vet lint fmt-check build test race benchsmoke benchcmp scale-smoke fuzz-smoke live-smoke
+check: vet lint fmt-check build test race benchsmoke benchcmp scale-smoke baseline-smoke fuzz-smoke live-smoke
 	@echo "check: all gates passed"
 
 vet:
@@ -41,7 +41,8 @@ benchsmoke:
 	$(GO) test -run '^$$' -bench 'MonteCarlo' -benchtime 1x -benchmem .
 
 ## benchcmp: the allocation-regression gate. Runs the alloc-sensitive
-## benchmarks (FDSEpoch, RadioBroadcast, Codec) and fails if any allocs/op
+## benchmarks (FDSEpoch, RadioBroadcast, Codec, and the per-detector
+## SWIM/QueryResponse/AllPairs epoch benchmarks) and fails if any allocs/op
 ## figure regresses more than 10% against the committed baseline
 ## (bench_baseline.json). When an optimization lowers a count, tighten the
 ## baseline in the same PR so the gate keeps biting.
@@ -50,7 +51,7 @@ benchsmoke:
 ## their allocation counts are deterministic at fixed seed regardless of
 ## iteration count. Both invocations feed one benchcmp run.
 benchcmp:
-	{ $(GO) test -run '^$$' -bench 'BenchmarkFDSEpoch$$|BenchmarkRadioBroadcast$$|BenchmarkCodec$$' \
+	{ $(GO) test -run '^$$' -bench 'BenchmarkFDSEpoch$$|BenchmarkRadioBroadcast$$|BenchmarkCodec$$|BenchmarkSWIMEpoch$$|BenchmarkQueryResponseEpoch$$|BenchmarkAllPairsEpoch$$' \
 		-benchtime 20x -benchmem . && \
 	  $(GO) test -run '^$$' -bench 'BenchmarkFDSEpoch10k$$|BenchmarkShardedEpoch$$' \
 		-benchtime 1x -benchmem . ; } | $(GO) run ./cmd/benchcmp -baseline bench_baseline.json
@@ -66,6 +67,18 @@ scale-smoke:
 	echo "$$a"; \
 	if [ "$$a" != "$$b" ]; then echo "scale-smoke: HASH MISMATCH between -shards 1 and -shards 4:"; echo "$$b"; exit 1; fi; \
 	echo "scale-smoke: 1-shard and 4-shard hashes identical"
+
+## baseline-smoke: the head-to-head matrix's determinism gate. A tiny
+## all-detector sweep (every stack x every disruption scenario, 2 trials per
+## cell) must print bit-identical "matrix hash:" lines with 1 worker and with
+## 4 workers. See EXPERIMENTS.md "Head-to-head detector matrix".
+baseline-smoke:
+	$(GO) build -o bin/fdsfigs ./cmd/fdsfigs
+	@a="$$(bin/fdsfigs -fig I -matrix-trials 2 -seed 42 -workers 1 | grep 'matrix hash:')"; \
+	b="$$(bin/fdsfigs -fig I -matrix-trials 2 -seed 42 -workers 4 | grep 'matrix hash:')"; \
+	echo "$$a"; \
+	if [ "$$a" != "$$b" ]; then echo "baseline-smoke: HASH MISMATCH between -workers 1 and -workers 4:"; echo "$$b"; exit 1; fi; \
+	echo "baseline-smoke: 1-worker and 4-worker matrix hashes identical"
 
 ## fuzz-smoke: a short native-fuzz pass over the wire codec's two targets
 ## (FuzzDecode: Decode vs DecodeInto differential on hostile bytes;

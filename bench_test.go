@@ -410,6 +410,29 @@ func BenchmarkFDSEpoch(b *testing.B) {
 	b.ReportMetric(float64(w.Kernel.Steps()-startEvents)/float64(b.N), "kernel-events/epoch")
 }
 
+// benchDetectorEpoch measures one flat detector's steady-state epoch cost on
+// a dense 100-node field (everyone one hop apart, like the Ext. D study),
+// using the same settle-then-measure shape as BenchmarkFDSEpoch.
+func benchDetectorEpoch(b *testing.B, stack scenario.Stack) {
+	w := scenario.Build(scenario.Config{Seed: 1, Nodes: 100, FieldSide: 64, LossProb: 0.1, Stack: stack})
+	w.RunEpochs(3)
+	startEvents := w.Kernel.Steps()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.RunEpochs(4 + i)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(w.Kernel.Steps()-startEvents)/float64(b.N), "kernel-events/epoch")
+}
+
+// Per-detector epoch costs for the new pluggable baselines; each is pinned
+// in bench_baseline.json so an accidental allocation regression in a
+// detector's hot path (tick, Handle) fails `make benchcmp`.
+func BenchmarkSWIMEpoch(b *testing.B)          { benchDetectorEpoch(b, scenario.StackSWIM) }
+func BenchmarkQueryResponseEpoch(b *testing.B) { benchDetectorEpoch(b, scenario.StackQueryResponse) }
+func BenchmarkAllPairsEpoch(b *testing.B)      { benchDetectorEpoch(b, scenario.StackAllPairs) }
+
 // BenchmarkFDSEpoch10k is BenchmarkFDSEpoch at 10,000 hosts on the per-host
 // engine: one settle epoch outside the timer, then one steady-state epoch
 // per iteration. It exists to anchor the sharded engine's numbers against

@@ -9,6 +9,10 @@
 //	           protocol implementation where rates are measurable
 //	Ext. C/H:  predicted message cost per interval vs population, for the
 //	           cluster FDS, flat flooding, and gossip
+//	Ext. I:    head-to-head detector matrix — every pluggable failure
+//	           detector (cluster FDS, flood, gossip, SWIM, query-response,
+//	           all-pairs) under crash-wave, partition, duty-sleep, and
+//	           mobility on identical seeds
 //
 // Each figure is printed as a TSV table (one row per p, one column per
 // cluster population) and, unless -format=tsv, as an ASCII log-scale chart
@@ -16,12 +20,18 @@
 //
 // Usage:
 //
-//	fdsfigs [-fig all|5|6|7|A|B|C] [-format both|tsv|plot] [-trials N] [-seed S]
+//	fdsfigs [-fig all|5|6|7|A|B|C|I] [-format both|tsv|plot] [-trials N] [-seed S]
 //	        [-workers N] [-metrics out.json] [-metrics-csv out.csv]
+//	        [-detectors a,b,...] [-matrix-trials N]
 //
-// The Monte-Carlo figures (A and B) run their replicas on the parallel
+// The Monte-Carlo figures (A, B and I) run their replicas on the parallel
 // replication engine; -workers sizes the pool (default GOMAXPROCS, 1 =
 // serial). Output is bit-identical at every worker count.
+//
+// -detectors filters the Ext. I matrix to a comma-separated subset of
+// detector names (default: all of them); -matrix-trials sets its per-cell
+// trial count. The table ends with a "matrix hash:" line — an FNV-64a digest
+// of the TSV that CI compares across worker counts.
 //
 // -metrics / -metrics-csv attach per-trial registries to the Ext. B
 // validation runs and export the snapshots — merged in case order, then
@@ -39,11 +49,12 @@ import (
 	"clusterfds/internal/analysis"
 	"clusterfds/internal/metrics"
 	"clusterfds/internal/montecarlo"
+	"clusterfds/internal/scenario"
 	"clusterfds/internal/textplot"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: all, 5, 6, 7, A, B, C")
+	fig := flag.String("fig", "all", "figure to regenerate: all, 5, 6, 7, A, B, C, I")
 	format := flag.String("format", "both", "output format: both, tsv, plot")
 	trials := flag.Int("trials", 2000, "Monte-Carlo trials per point (Ext. B)")
 	seed := flag.Int64("seed", 1, "random seed for the Monte-Carlo figures")
@@ -51,6 +62,9 @@ func main() {
 		"worker pool for the Monte-Carlo figures (results identical at any count)")
 	metricsJSON := flag.String("metrics", "", "write Ext. B's merged metrics snapshot as JSON to this file")
 	metricsCSV := flag.String("metrics-csv", "", "write Ext. B's merged metrics snapshot as CSV to this file")
+	detectors := flag.String("detectors", "",
+		"comma-separated detector filter for the Ext. I matrix (default: all detectors)")
+	matrixTrials := flag.Int("matrix-trials", 5, "trials per Ext. I matrix cell")
 	flag.Parse()
 
 	wantTSV := *format == "both" || *format == "tsv"
@@ -62,7 +76,7 @@ func main() {
 
 	figures := strings.Split(*fig, ",")
 	if *fig == "all" {
-		figures = []string{"5", "6", "7", "A", "B", "C"}
+		figures = []string{"5", "6", "7", "A", "B", "C", "I"}
 	}
 	for _, f := range figures {
 		switch strings.TrimSpace(f) {
@@ -78,6 +92,8 @@ func main() {
 			mcValidation(*seed, *trials, *workers, *metricsJSON, *metricsCSV)
 		case "C":
 			costCurves(wantTSV, wantPlot)
+		case "I":
+			headToHead(*seed, *matrixTrials, *workers, *detectors)
 		default:
 			fmt.Fprintf(os.Stderr, "fdsfigs: unknown figure %q\n", f)
 			os.Exit(2)
@@ -225,6 +241,37 @@ func costCurves(wantTSV, wantPlot bool) {
 		chart.Series = []textplot.Series{clS, flS}
 		fmt.Println(chart.Render())
 	}
+}
+
+// headToHead prints the Ext. I study: every requested detector under every
+// disruption scenario on identical seeds, one row per cell. The field is a
+// dense clique (64 m side, everyone in radio range) so the one-hop-only
+// detectors compete on protocol quality rather than on reach, which is what
+// the head-to-head is for; multi-hop scaling is Ext. C/H's subject.
+func headToHead(seed int64, trials, workers int, filter string) {
+	m := scenario.Matrix{
+		Config:  scenario.Config{Seed: seed, Nodes: 40, FieldSide: 64},
+		Trials:  trials,
+		Workers: workers,
+	}
+	if filter != "" {
+		for _, name := range strings.Split(filter, ",") {
+			s, err := scenario.ParseStack(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fdsfigs: %v\n", err)
+				os.Exit(2)
+			}
+			m.Stacks = append(m.Stacks, s)
+		}
+	}
+	r := m.Run()
+	fmt.Printf("# Ext. I: head-to-head detector matrix (n = %d, %.0f m clique, %d trials/cell)\n",
+		m.Config.Nodes, float64(m.Config.FieldSide), trials)
+	if err := r.WriteTSV(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "fdsfigs: writing matrix: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("matrix hash: %016x\n\n", r.Hash())
 }
 
 // mcValidation prints the Ext. B comparison: analytic prediction vs the

@@ -7,8 +7,8 @@
 // Usage:
 //
 //	fdsim [-nodes 100] [-field 500] [-p 0.1] [-epochs 12] [-crashes 3]
-//	      [-crash-epoch 4] [-stack cluster|gossip|flood] [-seed 1]
-//	      [-trials 1] [-workers N]
+//	      [-crash-epoch 4] [-detector cluster-fds|gossip|flood|swim|query-response|all-pairs]
+//	      [-seed 1] [-trials 1] [-workers N]
 //	      [-metrics out.json] [-metrics-csv out.csv]
 //	      [-no-peer-forwarding] [-no-bgw] [-no-implicit-acks]
 //	      [-aggregate] [-sleep] [-naive-sleep]
@@ -58,7 +58,10 @@ func main() {
 	epochs := flag.Int("epochs", 12, "heartbeat intervals to simulate")
 	crashes := flag.Int("crashes", 3, "hosts to crash")
 	crashEpoch := flag.Int("crash-epoch", 4, "epoch at whose midpoint crashes occur")
-	stackName := flag.String("stack", "cluster", "detector stack: cluster, gossip, flood")
+	stackName := flag.String("stack", "cluster",
+		"detector stack: cluster (alias cluster-fds), gossip, flood, swim, query-response, all-pairs")
+	detector := flag.String("detector", "",
+		"detector to run (same names as -stack; takes precedence when set)")
 	seed := flag.Int64("seed", 1, "random seed")
 	trials := flag.Int("trials", 1, "independent seeded replicas to run (1 = single legacy run)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
@@ -123,17 +126,20 @@ func main() {
 		return
 	}
 
+	name := *stackName
+	if *detector != "" {
+		name = *detector
+	}
 	var stack scenario.Stack
-	switch *stackName {
-	case "cluster":
+	if name == "cluster" {
 		stack = scenario.StackClusterFDS
-	case "gossip":
-		stack = scenario.StackGossip
-	case "flood":
-		stack = scenario.StackFlood
-	default:
-		fmt.Fprintf(os.Stderr, "fdsim: unknown stack %q\n", *stackName)
-		os.Exit(2)
+	} else {
+		s, err := scenario.ParseStack(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fdsim: %v\n", err)
+			os.Exit(2)
+		}
+		stack = s
 	}
 
 	cfg := scenario.Config{

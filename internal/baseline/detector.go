@@ -1,0 +1,82 @@
+package baseline
+
+import (
+	"fmt"
+
+	"clusterfds/internal/node"
+	"clusterfds/internal/sim"
+	"clusterfds/internal/wire"
+)
+
+// Detector is the pluggable failure-detector seam: lifecycle (it is a
+// node.Protocol, so it boots and receives messages like any other module on
+// the host's radio) plus the query surface every FD in the repository
+// answers. The flat baselines here, and structurally the cluster-based
+// fds.Protocol, all implement it, so scenarios, metrics, and the head-to-head
+// sweep matrix treat every detector uniformly.
+type Detector interface {
+	node.Protocol
+	// IsSuspected reports whether the host suspects id has failed.
+	IsSuspected(id wire.NodeID) bool
+	// KnownFailed returns all suspected hosts in NID order.
+	KnownFailed() []wire.NodeID
+}
+
+// Params is the common knob set for the flat detectors: one period, one
+// suspicion timeout, and the flood-specific extras. Detector-specific
+// constants (SWIM's probe timeout and piggyback budget, query-response's
+// reply jitter) are derived from these so that every detector in a study is
+// configured from the same two numbers and the comparison stays fair.
+type Params struct {
+	// Interval is the detector's protocol period (heartbeat, gossip round,
+	// probe period, or query period).
+	Interval sim.Time
+	// SuspectAfter is how long liveness evidence may be absent before a
+	// node is suspected. Must be at least 2*Interval.
+	SuspectAfter sim.Time
+	// TTL bounds flood relaying (flood only).
+	TTL uint8
+	// RelayJitter spreads flood relays and query responses over a short
+	// window to avoid synchronized bursts; zero disables it.
+	RelayJitter sim.Time
+}
+
+// New constructs a flat detector by name. Names() lists the valid names. The
+// cluster-based FDS is not constructible here — it needs the whole
+// clustering stack under it — and is composed by internal/scenario, which
+// exposes it under the same seam.
+func New(name string, p Params) (Detector, error) {
+	switch name {
+	case "gossip":
+		return NewGossip(GossipConfig{Interval: p.Interval, SuspectAfter: p.SuspectAfter}), nil
+	case "flood":
+		return NewFlood(FloodConfig{
+			Interval: p.Interval, TTL: p.TTL,
+			SuspectAfter: p.SuspectAfter, RelayJitter: p.RelayJitter,
+		}), nil
+	case "swim":
+		// SWIM's verdicts come from probe timeouts, not a silence timeout,
+		// so Params.SuspectAfter does not apply to it.
+		return NewSWIM(SWIMConfig{
+			Interval:       p.Interval,
+			ProbeTimeout:   p.Interval / 8,
+			IndirectProbes: 3,
+			Retransmit:     3,
+			MaxPiggyback:   4,
+		}), nil
+	case "query-response":
+		return NewQueryResponse(QueryResponseConfig{
+			Interval: p.Interval, SuspectAfter: p.SuspectAfter,
+			ResponseJitter: p.RelayJitter,
+		}), nil
+	case "all-pairs":
+		return NewAllPairs(AllPairsConfig{Interval: p.Interval, SuspectAfter: p.SuspectAfter}), nil
+	default:
+		return nil, fmt.Errorf("baseline: unknown detector %q (have %v)", name, Names())
+	}
+}
+
+// Names returns the flat detector names New accepts, sorted.
+func Names() []string {
+	return []string{"all-pairs", "flood", "gossip", "query-response", "swim"}
+}

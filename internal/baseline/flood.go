@@ -28,10 +28,21 @@ func (c FloodConfig) Valid() bool {
 	return c.Interval > 0 && c.TTL >= 1 && c.SuspectAfter >= 2*c.Interval
 }
 
-// floodKey identifies one origin heartbeat for duplicate suppression.
-type floodKey struct {
-	origin wire.NodeID
-	seq    uint64
+// floodWindow is how many sequence numbers below the highest-seen one the
+// per-origin reorder window tracks. Relays arrive within a TTL-bounded number
+// of hop delays of the original send, far less than 64 heartbeat intervals,
+// so anything older is a duplicate or irrelevant and is dropped.
+const floodWindow = 64
+
+// floodOrigin is the bounded per-origin state that replaces the old
+// per-(origin, seq) dedup map, which retained one entry per heartbeat ever
+// heard and grew without bound over a run. maxSeq is the highest sequence
+// delivered; recent is a floodWindow-wide bitmask of sequences at or below it
+// (bit i set means seq maxSeq-i was seen); last is when maxSeq was delivered.
+type floodOrigin struct {
+	maxSeq uint64
+	recent uint64
+	last   sim.Time
 }
 
 // Flood is the per-host flat-flooding failure detector protocol. Every
@@ -42,9 +53,8 @@ type Flood struct {
 	cfg  FloodConfig
 	host *node.Host
 
-	seq      uint64
-	seen     map[floodKey]bool
-	lastSeen map[wire.NodeID]sim.Time
+	seq     uint64
+	origins map[wire.NodeID]*floodOrigin
 }
 
 // NewFlood returns a flooding detector.
@@ -53,9 +63,8 @@ func NewFlood(cfg FloodConfig) *Flood {
 		panic("baseline: invalid flood config")
 	}
 	return &Flood{
-		cfg:      cfg,
-		seen:     make(map[floodKey]bool),
-		lastSeen: make(map[wire.NodeID]sim.Time),
+		cfg:     cfg,
+		origins: make(map[wire.NodeID]*floodOrigin),
 	}
 }
 
@@ -78,19 +87,38 @@ func (f *Flood) tick() {
 }
 
 // Handle implements node.Protocol: record liveness and relay unseen
-// heartbeats while TTL remains.
+// heartbeats while TTL remains. Only a strictly newer sequence advances the
+// origin's liveness clock — a late relay of an old heartbeat is still
+// deduplicated and forwarded for coverage, but must not mask a crash by
+// refreshing lastSeen with pre-crash evidence.
 func (f *Flood) Handle(h *node.Host, m wire.Message, from wire.NodeID) {
 	hb, ok := m.(*wire.FloodHeartbeat)
-	if !ok {
+	if !ok || hb.Origin == h.ID() {
+		// Our own heartbeat echoed back by a neighbor: we are not evidence
+		// of our own liveness, and re-relaying it would double the flood.
 		return
 	}
-	k := floodKey{origin: hb.Origin, seq: hb.Seq}
-	if f.seen[k] {
-		return
-	}
-	f.seen[k] = true
-	if t, known := f.lastSeen[hb.Origin]; !known || h.Now() > t {
-		f.lastSeen[hb.Origin] = h.Now()
+	o, known := f.origins[hb.Origin]
+	switch {
+	case !known:
+		f.origins[hb.Origin] = &floodOrigin{maxSeq: hb.Seq, recent: 1, last: h.Now()}
+	case hb.Seq > o.maxSeq:
+		if shift := hb.Seq - o.maxSeq; shift >= floodWindow {
+			o.recent = 1
+		} else {
+			o.recent = o.recent<<shift | 1
+		}
+		o.maxSeq = hb.Seq
+		o.last = h.Now()
+	default:
+		back := o.maxSeq - hb.Seq
+		if back >= floodWindow {
+			return // far older than anything in flight; drop
+		}
+		if o.recent&(1<<back) != 0 {
+			return // duplicate
+		}
+		o.recent |= 1 << back // stale but unseen: relay, no liveness credit
 	}
 	if hb.TTL <= 1 {
 		return
@@ -105,17 +133,17 @@ func (f *Flood) Handle(h *node.Host, m wire.Message, from wire.NodeID) {
 
 // IsSuspected implements Detector.
 func (f *Flood) IsSuspected(id wire.NodeID) bool {
-	t, known := f.lastSeen[id]
+	o, known := f.origins[id]
 	if !known {
 		return false
 	}
-	return f.host.Now()-t > f.cfg.SuspectAfter
+	return f.host.Now()-o.last > f.cfg.SuspectAfter
 }
 
 // KnownFailed implements Detector.
 func (f *Flood) KnownFailed() []wire.NodeID {
 	var out []wire.NodeID
-	for id := range f.lastSeen {
+	for id := range f.origins {
 		if id != f.host.ID() && f.IsSuspected(id) {
 			out = append(out, id)
 		}
@@ -124,5 +152,11 @@ func (f *Flood) KnownFailed() []wire.NodeID {
 	return out
 }
 
-// KnownPopulation returns how many distinct origins this host has heard.
-func (f *Flood) KnownPopulation() int { return len(f.lastSeen) }
+// KnownPopulation returns how many distinct origins this host has heard,
+// plus itself, mirroring Gossip.KnownPopulation.
+func (f *Flood) KnownPopulation() int { return len(f.origins) + 1 }
+
+// dedupStateSize reports the number of per-origin dedup records — the
+// regression surface for the unbounded (origin, seq) map this replaced. It
+// is O(population) by construction now; the test pins that.
+func (f *Flood) dedupStateSize() int { return len(f.origins) }

@@ -1,5 +1,7 @@
-// Package baseline implements the two comparison failure detectors the
-// paper positions itself against:
+// Package baseline implements the pluggable failure-detector family the
+// cluster FDS is measured against: the Detector seam (lifecycle via
+// node.Protocol plus the IsSuspected/KnownFailed verdict surface), the
+// New(name, Params) registry, and five flat comparison detectors:
 //
 //   - a gossip-style failure detector in the spirit of van Renesse, Minsky
 //     and Hayden (the paper's reference [11]): every node maintains a table
@@ -7,11 +9,20 @@
 //     a node is suspected when its counter has not advanced for Tfail;
 //   - a flat-flooding heartbeat detector: every node's heartbeat is relayed
 //     network-wide with a TTL, the strawman against which Section 3 claims
-//     cluster-based dissemination is "far more efficient".
+//     cluster-based dissemination is "far more efficient";
+//   - a SWIM-style detector (Das, Gupta, Motivala): randomized
+//     ping / indirect-ping / ack probing with piggybacked membership rumors;
+//   - a Sens-style query-response detector: periodic interrogation, any
+//     response or overheard query is liveness evidence;
+//   - an all-pairs heartbeat strawman: unrelayed periodic heartbeats and a
+//     per-origin silence timeout, the bytes-on-air floor.
 //
-// Both run on the same hosts, radio, and kernel as the cluster-based FDS,
-// so message counts, bytes, and energy are directly comparable
-// (experiment Ext. C in DESIGN.md).
+// All five run on the same hosts, radio, and kernel as the cluster-based
+// FDS, so message counts, bytes, and energy are directly comparable
+// (experiments Ext. C and Ext. I in DESIGN.md). A shared conformance suite
+// (conformance_test.go) holds every Detector — these and the cluster FDS —
+// to the same contract: eventual detection, no self-suspicion, sorted and
+// deterministic KnownFailed, rescission on recovery.
 package baseline
 
 import (
@@ -21,15 +32,6 @@ import (
 	"clusterfds/internal/sim"
 	"clusterfds/internal/wire"
 )
-
-// Detector is the query surface shared by the baselines and (structurally)
-// by the cluster-based FDS: what does this host believe has failed?
-type Detector interface {
-	// IsSuspected reports whether the host suspects id has failed.
-	IsSuspected(id wire.NodeID) bool
-	// KnownFailed returns all suspected hosts in NID order.
-	KnownFailed() []wire.NodeID
-}
 
 // GossipConfig parameterizes the gossip detector.
 type GossipConfig struct {

@@ -1,0 +1,110 @@
+package baseline
+
+import (
+	"sort"
+
+	"clusterfds/internal/node"
+	"clusterfds/internal/sim"
+	"clusterfds/internal/wire"
+)
+
+// QueryResponseConfig parameterizes the query-response detector.
+type QueryResponseConfig struct {
+	// Interval is the query period (per node).
+	Interval sim.Time
+	// SuspectAfter is how long a neighbor may stay silent before it is
+	// suspected.
+	SuspectAfter sim.Time
+	// ResponseJitter spreads responses to one query over a short window so
+	// they do not all land in the same instant; zero disables it.
+	ResponseJitter sim.Time
+}
+
+// Valid reports whether the configuration is usable.
+func (c QueryResponseConfig) Valid() bool {
+	return c.Interval > 0 && c.SuspectAfter >= 2*c.Interval
+}
+
+// QueryResponse is the Sens et al. style asynchronous query-response
+// detector for networks with partial connectivity and unknown membership: a
+// node periodically broadcasts "who is alive?", everyone in range answers,
+// and the monitor list is whatever set of nodes it has ever heard — query,
+// response, or overheard response alike. There is no relaying, so each node
+// monitors exactly its radio neighborhood, which is the property that makes
+// the design work when no node can see the whole system.
+type QueryResponse struct {
+	cfg  QueryResponseConfig
+	host *node.Host
+
+	seq       uint64
+	lastHeard map[wire.NodeID]sim.Time
+}
+
+// NewQueryResponse returns a query-response detector.
+func NewQueryResponse(cfg QueryResponseConfig) *QueryResponse {
+	if !cfg.Valid() {
+		panic("baseline: invalid query-response config (need Interval > 0 and SuspectAfter >= 2*Interval)")
+	}
+	return &QueryResponse{cfg: cfg, lastHeard: make(map[wire.NodeID]sim.Time)}
+}
+
+// Start implements node.Protocol.
+func (q *QueryResponse) Start(h *node.Host) {
+	q.host = h
+	first := sim.Time(h.Rand().Int63n(int64(q.cfg.Interval)))
+	h.After(first, q.tick)
+}
+
+func (q *QueryResponse) tick() {
+	q.seq++
+	q.host.Send(&wire.FDQuery{From: q.host.ID(), Seq: q.seq})
+	q.host.After(q.cfg.Interval, q.tick)
+}
+
+// Handle implements node.Protocol: any directly heard query or response is
+// liveness evidence for its sender, and a query addressed to the air gets a
+// response.
+func (q *QueryResponse) Handle(h *node.Host, m wire.Message, from wire.NodeID) {
+	now := h.Now()
+	switch msg := m.(type) {
+	case *wire.FDQuery:
+		q.lastHeard[msg.From] = now
+		// Copy the fields out: the message is scratch-owned and must not
+		// outlive Handle.
+		to, seq := msg.From, msg.Seq
+		if q.cfg.ResponseJitter > 0 {
+			h.After(sim.Time(h.Rand().Int63n(int64(q.cfg.ResponseJitter))), func() {
+				q.host.Send(&wire.FDResponse{From: q.host.ID(), To: to, Seq: seq})
+			})
+			return
+		}
+		q.host.Send(&wire.FDResponse{From: q.host.ID(), To: to, Seq: seq})
+	case *wire.FDResponse:
+		q.lastHeard[msg.From] = now
+	}
+}
+
+// IsSuspected implements Detector.
+func (q *QueryResponse) IsSuspected(id wire.NodeID) bool {
+	t, known := q.lastHeard[id]
+	if !known {
+		return false
+	}
+	return q.host.Now()-t > q.cfg.SuspectAfter
+}
+
+// KnownFailed implements Detector.
+func (q *QueryResponse) KnownFailed() []wire.NodeID {
+	var out []wire.NodeID
+	for id := range q.lastHeard {
+		if id != q.host.ID() && q.IsSuspected(id) {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// KnownPopulation returns how many hosts this detector has heard, plus
+// itself.
+func (q *QueryResponse) KnownPopulation() int { return len(q.lastHeard) + 1 }

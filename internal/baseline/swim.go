@@ -1,0 +1,344 @@
+package baseline
+
+import (
+	"sort"
+
+	"clusterfds/internal/node"
+	"clusterfds/internal/sim"
+	"clusterfds/internal/wire"
+)
+
+// SWIMConfig parameterizes the SWIM-style detector (Das, Gupta, Motivala:
+// ping / indirect-ping / ack with piggybacked membership rumors).
+type SWIMConfig struct {
+	// Interval is the protocol period: one probe per period per node.
+	Interval sim.Time
+	// ProbeTimeout is how long each probe stage (direct ping, then the
+	// indirect ping-req) waits for an ack. The two stages must both fit
+	// inside one period: 2*ProbeTimeout < Interval.
+	ProbeTimeout sim.Time
+	// IndirectProbes is how many proxies a ping-req enlists.
+	IndirectProbes int
+	// Retransmit is how many outgoing messages each rumor rides on before
+	// it is retired (SWIM's lambda*log(n) dissemination budget).
+	Retransmit int
+	// MaxPiggyback caps the rumors carried per message.
+	MaxPiggyback int
+}
+
+// Valid reports whether the configuration is usable.
+func (c SWIMConfig) Valid() bool {
+	return c.Interval > 0 && c.ProbeTimeout > 0 && 2*c.ProbeTimeout < c.Interval &&
+		c.IndirectProbes >= 1 && c.Retransmit >= 1 && c.MaxPiggyback >= 1
+}
+
+// swimAnnounce is one queued rumor with its remaining piggyback budget.
+type swimAnnounce struct {
+	node   wire.NodeID
+	failed bool
+	left   int
+}
+
+// SWIM is the per-host SWIM-style failure detector. Each period it pings one
+// randomly chosen member (the paper's basic random-probe selection, drawn
+// from the kernel's seeded stream so runs stay bit-reproducible); a missed
+// ack escalates to an indirect probe through IndirectProbes proxies, and
+// only a miss there declares the target failed. Random selection matters:
+// a deterministic cursor over the sorted member list would march in
+// lockstep on every host of a dense field — the lists are near-identical —
+// so each member would be probed by everyone in the same period and by
+// nobody for a full cycle after, stretching worst-case detection to
+// len(members) periods.
+type SWIM struct {
+	cfg  SWIMConfig
+	host *node.Host
+
+	members   []wire.NodeID // sorted, never includes self
+	lastAlive map[wire.NodeID]sim.Time
+	failed    map[wire.NodeID]bool
+	announce  []swimAnnounce
+
+	seq     uint64
+	pending struct {
+		target wire.NodeID
+		seq    uint64
+		acked  bool
+	}
+}
+
+// NewSWIM returns a SWIM-style detector.
+func NewSWIM(cfg SWIMConfig) *SWIM {
+	if !cfg.Valid() {
+		panic("baseline: invalid SWIM config (need 2*ProbeTimeout < Interval)")
+	}
+	return &SWIM{
+		cfg:       cfg,
+		lastAlive: make(map[wire.NodeID]sim.Time),
+		failed:    make(map[wire.NodeID]bool),
+	}
+}
+
+// Start implements node.Protocol.
+func (s *SWIM) Start(h *node.Host) {
+	s.host = h
+	first := sim.Time(h.Rand().Int63n(int64(s.cfg.Interval)))
+	h.After(first, s.tick)
+}
+
+func (s *SWIM) tick() {
+	s.host.After(s.cfg.Interval, s.tick)
+	target, ok := s.pickTarget()
+	if !ok {
+		// Nobody to probe yet (or everybody we know is already declared
+		// failed). Send an unaddressed ping so neighbors can discover us
+		// and rumors keep moving.
+		s.seq++
+		s.host.Send(&wire.SWIMPing{From: s.host.ID(), Seq: s.seq, Events: s.takeEvents()})
+		return
+	}
+	s.seq++
+	s.pending.target = target
+	s.pending.seq = s.seq
+	s.pending.acked = false
+	s.host.Send(&wire.SWIMPing{
+		From: s.host.ID(), Target: target, Seq: s.seq, Events: s.takeEvents(),
+	})
+	seq := s.seq
+	s.host.After(s.cfg.ProbeTimeout, func() { s.directTimeout(seq) })
+}
+
+// pickTarget returns a uniformly chosen member that is not already declared
+// failed, scanning onward from a random start when the first pick is failed.
+func (s *SWIM) pickTarget() (wire.NodeID, bool) {
+	n := len(s.members)
+	if n == 0 {
+		return 0, false
+	}
+	start := s.host.Rand().Intn(n)
+	for i := 0; i < n; i++ {
+		t := s.members[(start+i)%n]
+		if !s.failed[t] {
+			return t, true
+		}
+	}
+	return 0, false
+}
+
+func (s *SWIM) directTimeout(seq uint64) {
+	if s.pending.seq != seq || s.pending.acked {
+		return
+	}
+	via := s.pickProxies(s.pending.target)
+	if len(via) == 0 {
+		// No proxy available: the direct miss is all the evidence there is.
+		s.markFailed(s.pending.target)
+		return
+	}
+	s.host.Send(&wire.SWIMPingReq{
+		From: s.host.ID(), Target: s.pending.target, Seq: seq,
+		Via: via, Events: s.takeEvents(),
+	})
+	s.host.After(s.cfg.ProbeTimeout, func() { s.indirectTimeout(seq) })
+}
+
+func (s *SWIM) indirectTimeout(seq uint64) {
+	if s.pending.seq != seq || s.pending.acked {
+		return
+	}
+	s.markFailed(s.pending.target)
+}
+
+// pickProxies returns up to IndirectProbes live members other than the
+// probe target, scanning from a random start.
+func (s *SWIM) pickProxies(target wire.NodeID) []wire.NodeID {
+	n := len(s.members)
+	if n == 0 {
+		return nil
+	}
+	var via []wire.NodeID
+	start := s.host.Rand().Intn(n)
+	for i := 0; i < n; i++ {
+		m := s.members[(start+i)%n]
+		if m != target && !s.failed[m] {
+			via = append(via, m)
+			if len(via) == s.cfg.IndirectProbes {
+				break
+			}
+		}
+	}
+	return via
+}
+
+// Handle implements node.Protocol.
+func (s *SWIM) Handle(h *node.Host, m wire.Message, from wire.NodeID) {
+	now := h.Now()
+	switch msg := m.(type) {
+	case *wire.SWIMPing:
+		s.heard(msg.From, now)
+		s.absorbEvents(msg.Events, now)
+		if msg.Target == h.ID() {
+			s.host.Send(&wire.SWIMAck{
+				From: h.ID(), To: msg.From, Seq: msg.Seq,
+				OnBehalf: msg.OnBehalf, Events: s.takeEvents(),
+			})
+		}
+	case *wire.SWIMPingReq:
+		s.heard(msg.From, now)
+		s.absorbEvents(msg.Events, now)
+		for _, v := range msg.Via {
+			if v == h.ID() {
+				// Proxy-probe the target; OnBehalf routes the ack home.
+				s.host.Send(&wire.SWIMPing{
+					From: h.ID(), Target: msg.Target, Seq: msg.Seq,
+					OnBehalf: msg.From, Events: s.takeEvents(),
+				})
+				break
+			}
+		}
+	case *wire.SWIMAck:
+		s.heard(msg.From, now)
+		s.absorbEvents(msg.Events, now)
+		if msg.To != h.ID() {
+			return
+		}
+		if s.pending.seq == msg.Seq && !s.pending.acked &&
+			(msg.From == s.pending.target || msg.OnBehalf == s.pending.target) {
+			s.pending.acked = true
+			return
+		}
+		if msg.OnBehalf != 0 && msg.OnBehalf != h.ID() {
+			// We are the proxy: relay the target's ack to the requester,
+			// moving the target's identity into OnBehalf for matching.
+			s.host.Send(&wire.SWIMAck{
+				From: h.ID(), To: msg.OnBehalf, Seq: msg.Seq,
+				OnBehalf: msg.From, Events: s.takeEvents(),
+			})
+		}
+	}
+}
+
+// heard records direct liveness evidence: a transmission from id, which also
+// discovers id as a member and rescinds any standing failure verdict.
+func (s *SWIM) heard(id wire.NodeID, now sim.Time) {
+	if id == 0 || id == s.host.ID() {
+		return
+	}
+	s.addMember(id)
+	s.lastAlive[id] = now
+	if s.pending.target == id {
+		s.pending.acked = true
+	}
+	if s.failed[id] {
+		delete(s.failed, id)
+		s.enqueue(id, false)
+	}
+}
+
+// absorbEvents merges piggybacked rumors. A "failed" rumor is ignored when
+// this host heard the accused transmit within the last protocol period —
+// that direct evidence is fresher than any rumor, and since the radio is
+// promiscuous a live accused node refutes the rumor itself within one
+// period anyway. An "alive" rumor rescinds a standing verdict. Accepted
+// rumors are re-queued with a fresh budget so they keep spreading.
+func (s *SWIM) absorbEvents(evs []wire.SWIMEvent, now sim.Time) {
+	for _, e := range evs {
+		if e.Node == s.host.ID() {
+			if e.Failed {
+				// Refute the rumor about ourselves.
+				s.enqueue(s.host.ID(), false)
+			}
+			continue
+		}
+		if e.Failed {
+			if s.failed[e.Node] {
+				continue
+			}
+			if t, known := s.lastAlive[e.Node]; known && now-t <= s.cfg.Interval {
+				continue
+			}
+			s.addMember(e.Node)
+			s.failed[e.Node] = true
+			s.enqueue(e.Node, true)
+		} else if s.failed[e.Node] {
+			delete(s.failed, e.Node)
+			s.enqueue(e.Node, false)
+		}
+	}
+}
+
+func (s *SWIM) markFailed(id wire.NodeID) {
+	if id == 0 || id == s.host.ID() || s.failed[id] {
+		return
+	}
+	s.failed[id] = true
+	s.enqueue(id, true)
+}
+
+// enqueue adds a rumor with a full piggyback budget, replacing any queued
+// rumor about the same node (the newer verdict wins).
+func (s *SWIM) enqueue(id wire.NodeID, failedVerdict bool) {
+	for i := range s.announce {
+		if s.announce[i].node == id {
+			s.announce[i].failed = failedVerdict
+			s.announce[i].left = s.cfg.Retransmit
+			return
+		}
+	}
+	s.announce = append(s.announce, swimAnnounce{node: id, failed: failedVerdict, left: s.cfg.Retransmit})
+}
+
+// takeEvents pops up to MaxPiggyback rumors for an outgoing message. Charged
+// rumors with budget left rotate to the back of the queue so every rumor
+// gets airtime; exhausted ones retire.
+func (s *SWIM) takeEvents() []wire.SWIMEvent {
+	n := len(s.announce)
+	if n == 0 {
+		return nil
+	}
+	if n > s.cfg.MaxPiggyback {
+		n = s.cfg.MaxPiggyback
+	}
+	evs := make([]wire.SWIMEvent, 0, n)
+	var requeue []swimAnnounce
+	for i := 0; i < n; i++ {
+		a := s.announce[i]
+		evs = append(evs, wire.SWIMEvent{Node: a.node, Failed: a.failed})
+		a.left--
+		if a.left > 0 {
+			requeue = append(requeue, a)
+		}
+	}
+	s.announce = append(s.announce[:0], s.announce[n:]...)
+	s.announce = append(s.announce, requeue...)
+	return evs
+}
+
+// addMember inserts id into the sorted member list if absent.
+func (s *SWIM) addMember(id wire.NodeID) {
+	i := sort.Search(len(s.members), func(i int) bool { return s.members[i] >= id })
+	if i < len(s.members) && s.members[i] == id {
+		return
+	}
+	s.members = append(s.members, 0)
+	copy(s.members[i+1:], s.members[i:])
+	s.members[i] = id
+}
+
+// IsSuspected implements Detector.
+func (s *SWIM) IsSuspected(id wire.NodeID) bool { return s.failed[id] }
+
+// KnownFailed implements Detector.
+func (s *SWIM) KnownFailed() []wire.NodeID {
+	var out []wire.NodeID
+	for id := range s.failed {
+		if id != s.host.ID() {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// KnownPopulation returns how many hosts this detector has discovered,
+// including itself.
+func (s *SWIM) KnownPopulation() int { return len(s.members) + 1 }

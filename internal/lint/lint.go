@@ -200,7 +200,7 @@ func suppress(name string, u *Unit, diags []Diagnostic) []Diagnostic {
 var deterministicDirs = []string{
 	"sim", "fds", "radio", "cluster", "intercluster",
 	"membership", "sleep", "mobility", "scenario", "montecarlo", "shard",
-	"transport", "daemon", "conformance",
+	"transport", "daemon", "conformance", "baseline",
 }
 
 // DeterministicPackage reports whether the import path names one of the

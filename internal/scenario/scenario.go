@@ -1,8 +1,9 @@
 // Package scenario assembles full-system simulations: a random field of
-// hosts running one of three detector stacks (the paper's cluster-based
-// FDS, the gossip baseline, or the flat-flooding baseline), a crash and
-// replenishment schedule, and uniform metric collection — completeness,
-// detection latency, false suspicions, message and energy costs.
+// hosts running one of the detector stacks (the paper's cluster-based FDS or
+// any flat competitor from internal/baseline — gossip, flooding, SWIM,
+// query-response, all-pairs), a crash and replenishment schedule, and
+// uniform metric collection — completeness, detection latency, false
+// suspicions, message and energy costs.
 //
 // The command-line tools, the examples, and the benchmark harness all build
 // on this package, so every experiment measures the same way.
@@ -20,6 +21,7 @@ import (
 	"clusterfds/internal/geo"
 	"clusterfds/internal/intercluster"
 	"clusterfds/internal/metrics"
+	"clusterfds/internal/mobility"
 	"clusterfds/internal/node"
 	"clusterfds/internal/radio"
 	"clusterfds/internal/sim"
@@ -40,6 +42,12 @@ const (
 	StackGossip
 	// StackFlood is the flat-flooding heartbeat baseline.
 	StackFlood
+	// StackSWIM is the SWIM-style ping/indirect-ping detector.
+	StackSWIM
+	// StackQueryResponse is the Sens et al. query-response detector.
+	StackQueryResponse
+	// StackAllPairs is the all-pairs heartbeat strawman.
+	StackAllPairs
 )
 
 // String implements fmt.Stringer.
@@ -51,9 +59,33 @@ func (s Stack) String() string {
 		return "gossip"
 	case StackFlood:
 		return "flood"
+	case StackSWIM:
+		return "swim"
+	case StackQueryResponse:
+		return "query-response"
+	case StackAllPairs:
+		return "all-pairs"
 	default:
 		return fmt.Sprintf("stack(%d)", int(s))
 	}
+}
+
+// Stacks returns every available stack in declaration order.
+func Stacks() []Stack {
+	return []Stack{
+		StackClusterFDS, StackGossip, StackFlood,
+		StackSWIM, StackQueryResponse, StackAllPairs,
+	}
+}
+
+// ParseStack resolves a stack by its String name.
+func ParseStack(name string) (Stack, error) {
+	for _, s := range Stacks() {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("scenario: unknown detector stack %q", name)
 }
 
 // Config describes a scenario.
@@ -93,6 +125,9 @@ type Config struct {
 	// Sleep, when set, attaches the duty-cycling policy (cluster stack
 	// only).
 	Sleep *sleep.Config
+	// Mobility, when set, attaches random-waypoint movement to every host
+	// (any stack). A zero Field is defaulted to the deployment field.
+	Mobility *mobility.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -225,24 +260,29 @@ func (w *World) addHostWithID(id wire.NodeID, pos geo.Point) {
 		w.cls[id] = cl
 		w.fdss[id] = f
 		w.dets[id] = f
-	case StackGossip:
-		g := baseline.NewGossip(baseline.GossipConfig{
+	case StackGossip, StackFlood, StackSWIM, StackQueryResponse, StackAllPairs:
+		// All flat detectors come from the baseline registry, configured
+		// from the same period and suspicion timeout for a fair comparison.
+		d, err := baseline.New(w.cfg.Stack.String(), baseline.Params{
 			Interval:     w.cfg.BaselinePeriod,
 			SuspectAfter: 4 * w.cfg.BaselinePeriod,
-		})
-		h.Use(g)
-		w.dets[id] = g
-	case StackFlood:
-		f := baseline.NewFlood(baseline.FloodConfig{
-			Interval:     w.cfg.BaselinePeriod,
 			TTL:          w.cfg.FloodTTL,
-			SuspectAfter: 4 * w.cfg.BaselinePeriod,
 			RelayJitter:  sim.Time(5 * time.Millisecond),
 		})
-		h.Use(f)
-		w.dets[id] = f
+		if err != nil {
+			panic(err)
+		}
+		h.Use(d)
+		w.dets[id] = d
 	default:
 		panic(fmt.Sprintf("scenario: unknown stack %v", w.cfg.Stack))
+	}
+	if w.cfg.Mobility != nil {
+		mcfg := *w.cfg.Mobility
+		if mcfg.Field.Area() <= 0 {
+			mcfg.Field = geo.NewRect(w.cfg.FieldSide, w.cfg.FieldSide)
+		}
+		h.Use(mobility.New(mcfg))
 	}
 	w.hosts[id] = h
 	w.order = append(w.order, id)

@@ -7,7 +7,6 @@ package scenario
 
 import (
 	"math/rand"
-	"sort"
 	"time"
 
 	"clusterfds/internal/metrics"
@@ -110,29 +109,7 @@ func (s CrashStudy) Run() []CrashOutcome {
 		crashAt := timing.EpochStart(wire.Epoch(s.CrashEpoch)) + timing.Interval/2
 		victims := w.CrashRandomAt(crashAt, s.Crashes)
 		w.RunEpochs(s.Epochs)
-
-		var o CrashOutcome
-		o.Victims = victims
-		for _, v := range victims {
-			aware, operational := w.Completeness(v)
-			o.Aware += aware
-			o.Operational += operational
-			o.DetectionLatencies = append(o.DetectionLatencies, w.DetectionLatencies(v)...)
-		}
-		sort.Slice(o.DetectionLatencies, func(a, b int) bool {
-			return o.DetectionLatencies[a] < o.DetectionLatencies[b]
-		})
-		o.FalseSuspicions = len(w.FalseSuspicions())
-		counts := w.MessageCounts()
-		for k, v := range counts {
-			if len(k) > 3 && k[:3] == "tx:" {
-				o.TxMessages += v
-			}
-		}
-		o.TxBytes = counts["tx-bytes"]
-		o.Energy = w.TotalEnergySpent()
-		o.Metrics = w.MetricsSnapshot()
-		return o
+		return measureCrash(w, victims)
 	})
 }
 

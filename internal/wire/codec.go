@@ -84,6 +84,18 @@ func newMessage(k Kind) Message {
 		return &Aggregate{}
 	case KindSleepNotice:
 		return &SleepNotice{}
+	case KindSWIMPing:
+		return &SWIMPing{}
+	case KindSWIMPingReq:
+		return &SWIMPingReq{}
+	case KindSWIMAck:
+		return &SWIMAck{}
+	case KindFDQuery:
+		return &FDQuery{}
+	case KindFDResponse:
+		return &FDResponse{}
+	case KindAllPairsHeartbeat:
+		return &AllPairsHeartbeat{}
 	default:
 		return nil
 	}

@@ -23,6 +23,7 @@ type DecodeScratch struct {
 	ids         arena[NodeID]
 	rescissions arena[Rescission]
 	entries     arena[GossipEntry]
+	events      arena[SWIMEvent]
 }
 
 // NewDecodeScratch returns a workspace with every per-kind message value
@@ -56,6 +57,7 @@ func DecodeInto(s *DecodeScratch, b []byte) (Message, error) {
 	s.ids.reset()
 	s.rescissions.reset()
 	s.entries.reset()
+	s.events.reset()
 	rest, err := m.decode(b[1:], s)
 	if err != nil {
 		return nil, fmt.Errorf("wire: decoding %v: %w", kind, err)

@@ -57,6 +57,12 @@ const (
 	KindFloodHeartbeat
 	KindAggregate
 	KindSleepNotice
+	KindSWIMPing
+	KindSWIMPingReq
+	KindSWIMAck
+	KindFDQuery
+	KindFDResponse
+	KindAllPairsHeartbeat
 
 	kindEnd // one past the last valid kind
 )
@@ -96,6 +102,18 @@ func (k Kind) String() string {
 		return "aggregate"
 	case KindSleepNotice:
 		return "sleep-notice"
+	case KindSWIMPing:
+		return "swim-ping"
+	case KindSWIMPingReq:
+		return "swim-ping-req"
+	case KindSWIMAck:
+		return "swim-ack"
+	case KindFDQuery:
+		return "fd-query"
+	case KindFDResponse:
+		return "fd-response"
+	case KindAllPairsHeartbeat:
+		return "allpairs-heartbeat"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -864,5 +882,307 @@ func (m *SleepNotice) decode(b []byte, s *DecodeScratch) ([]byte, error) {
 		return nil, err
 	}
 	m.Until = Epoch(u64)
+	return b, nil
+}
+
+// --- Competing failure detectors (SWIM, query-response, all-pairs) ----------
+
+// SWIMEvent is one piggybacked membership rumor: Node is suspected failed
+// (Failed=true) or known alive again (Failed=false). SWIM disseminates these
+// on the backs of its probe traffic instead of flooding them.
+type SWIMEvent struct {
+	Node   NodeID
+	Failed bool
+}
+
+const swimEventSize = 4 + 1
+
+func appendEvents(b []byte, evs []SWIMEvent) []byte {
+	if len(evs) > math.MaxUint16 {
+		panic("wire: SWIM event list too long")
+	}
+	b = appendU16(b, uint16(len(evs)))
+	for _, e := range evs {
+		b = appendU32(b, uint32(e.Node))
+		b = appendBool(b, e.Failed)
+	}
+	return b
+}
+
+func readEvents(b []byte, s *DecodeScratch) ([]SWIMEvent, []byte, error) {
+	u16, b, err := readU16(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(b) < int(u16)*swimEventSize {
+		return nil, nil, errShort
+	}
+	var evs []SWIMEvent
+	if s != nil {
+		evs = s.events.take(int(u16))
+	} else {
+		evs = make([]SWIMEvent, u16)
+	}
+	for i := range evs {
+		var u32 uint32
+		var fl bool
+		if u32, b, err = readU32(b); err != nil {
+			return nil, nil, err
+		}
+		if fl, b, err = readBool(b); err != nil {
+			return nil, nil, err
+		}
+		evs[i] = SWIMEvent{Node: NodeID(u32), Failed: fl}
+	}
+	return evs, b, nil
+}
+
+// SWIMPing is SWIM's direct probe. When OnBehalf is non-zero the ping is a
+// proxy probe issued by an intermediary for the indirect-probe path, and the
+// ack must be routed back to OnBehalf.
+type SWIMPing struct {
+	From     NodeID
+	Target   NodeID
+	Seq      uint64
+	OnBehalf NodeID
+	Events   []SWIMEvent
+}
+
+// Kind implements Message.
+func (*SWIMPing) Kind() Kind { return KindSWIMPing }
+
+// WireSize implements Message.
+func (m *SWIMPing) WireSize() int { return 1 + 4 + 4 + 8 + 4 + 2 + swimEventSize*len(m.Events) }
+
+func (m *SWIMPing) append(b []byte) []byte {
+	b = appendU32(b, uint32(m.From))
+	b = appendU32(b, uint32(m.Target))
+	b = appendU64(b, m.Seq)
+	b = appendU32(b, uint32(m.OnBehalf))
+	return appendEvents(b, m.Events)
+}
+
+func (m *SWIMPing) decode(b []byte, s *DecodeScratch) ([]byte, error) {
+	var u32 uint32
+	var err error
+	if u32, b, err = readU32(b); err != nil {
+		return nil, err
+	}
+	m.From = NodeID(u32)
+	if u32, b, err = readU32(b); err != nil {
+		return nil, err
+	}
+	m.Target = NodeID(u32)
+	if m.Seq, b, err = readU64(b); err != nil {
+		return nil, err
+	}
+	if u32, b, err = readU32(b); err != nil {
+		return nil, err
+	}
+	m.OnBehalf = NodeID(u32)
+	if m.Events, b, err = readEvents(b, s); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// SWIMPingReq asks the Via members to probe Target on the sender's behalf
+// after a direct probe timed out (SWIM's indirect-probe stage, which filters
+// out local link asymmetry before declaring a failure).
+type SWIMPingReq struct {
+	From   NodeID
+	Target NodeID
+	Seq    uint64
+	Via    []NodeID
+	Events []SWIMEvent
+}
+
+// Kind implements Message.
+func (*SWIMPingReq) Kind() Kind { return KindSWIMPingReq }
+
+// WireSize implements Message.
+func (m *SWIMPingReq) WireSize() int {
+	return 1 + 4 + 4 + 8 + 2 + 4*len(m.Via) + 2 + swimEventSize*len(m.Events)
+}
+
+func (m *SWIMPingReq) append(b []byte) []byte {
+	b = appendU32(b, uint32(m.From))
+	b = appendU32(b, uint32(m.Target))
+	b = appendU64(b, m.Seq)
+	b = appendIDs(b, m.Via)
+	return appendEvents(b, m.Events)
+}
+
+func (m *SWIMPingReq) decode(b []byte, s *DecodeScratch) ([]byte, error) {
+	var u32 uint32
+	var err error
+	if u32, b, err = readU32(b); err != nil {
+		return nil, err
+	}
+	m.From = NodeID(u32)
+	if u32, b, err = readU32(b); err != nil {
+		return nil, err
+	}
+	m.Target = NodeID(u32)
+	if m.Seq, b, err = readU64(b); err != nil {
+		return nil, err
+	}
+	if m.Via, b, err = readIDs(b, s); err != nil {
+		return nil, err
+	}
+	if m.Events, b, err = readEvents(b, s); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// SWIMAck answers a SWIMPing. To names the node the ack is addressed to (the
+// prober or a proxy); OnBehalf, when non-zero, carries the identity of the
+// indirectly-probed target so the original requester can match the ack.
+type SWIMAck struct {
+	From     NodeID
+	To       NodeID
+	Seq      uint64
+	OnBehalf NodeID
+	Events   []SWIMEvent
+}
+
+// Kind implements Message.
+func (*SWIMAck) Kind() Kind { return KindSWIMAck }
+
+// WireSize implements Message.
+func (m *SWIMAck) WireSize() int { return 1 + 4 + 4 + 8 + 4 + 2 + swimEventSize*len(m.Events) }
+
+func (m *SWIMAck) append(b []byte) []byte {
+	b = appendU32(b, uint32(m.From))
+	b = appendU32(b, uint32(m.To))
+	b = appendU64(b, m.Seq)
+	b = appendU32(b, uint32(m.OnBehalf))
+	return appendEvents(b, m.Events)
+}
+
+func (m *SWIMAck) decode(b []byte, s *DecodeScratch) ([]byte, error) {
+	var u32 uint32
+	var err error
+	if u32, b, err = readU32(b); err != nil {
+		return nil, err
+	}
+	m.From = NodeID(u32)
+	if u32, b, err = readU32(b); err != nil {
+		return nil, err
+	}
+	m.To = NodeID(u32)
+	if m.Seq, b, err = readU64(b); err != nil {
+		return nil, err
+	}
+	if u32, b, err = readU32(b); err != nil {
+		return nil, err
+	}
+	m.OnBehalf = NodeID(u32)
+	if m.Events, b, err = readEvents(b, s); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// FDQuery is the Sens et al. query-response detector's probe: a broadcast
+// "who is alive around me?" that needs no a-priori membership list — the
+// detector discovers participants from whoever answers (or whose traffic it
+// overhears), which is what makes it work under partial connectivity.
+type FDQuery struct {
+	From NodeID
+	Seq  uint64
+}
+
+// Kind implements Message.
+func (*FDQuery) Kind() Kind { return KindFDQuery }
+
+// WireSize implements Message.
+func (*FDQuery) WireSize() int { return 1 + 4 + 8 }
+
+func (m *FDQuery) append(b []byte) []byte {
+	b = appendU32(b, uint32(m.From))
+	return appendU64(b, m.Seq)
+}
+
+func (m *FDQuery) decode(b []byte, s *DecodeScratch) ([]byte, error) {
+	var u32 uint32
+	var err error
+	if u32, b, err = readU32(b); err != nil {
+		return nil, err
+	}
+	m.From = NodeID(u32)
+	if m.Seq, b, err = readU64(b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// FDResponse answers an FDQuery. To echoes the querier so overhearers can
+// attribute the response; Seq echoes the query's sequence number.
+type FDResponse struct {
+	From NodeID
+	To   NodeID
+	Seq  uint64
+}
+
+// Kind implements Message.
+func (*FDResponse) Kind() Kind { return KindFDResponse }
+
+// WireSize implements Message.
+func (*FDResponse) WireSize() int { return 1 + 4 + 4 + 8 }
+
+func (m *FDResponse) append(b []byte) []byte {
+	b = appendU32(b, uint32(m.From))
+	b = appendU32(b, uint32(m.To))
+	return appendU64(b, m.Seq)
+}
+
+func (m *FDResponse) decode(b []byte, s *DecodeScratch) ([]byte, error) {
+	var u32 uint32
+	var err error
+	if u32, b, err = readU32(b); err != nil {
+		return nil, err
+	}
+	m.From = NodeID(u32)
+	if u32, b, err = readU32(b); err != nil {
+		return nil, err
+	}
+	m.To = NodeID(u32)
+	if m.Seq, b, err = readU64(b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// AllPairsHeartbeat is the all-pairs strawman's one-hop heartbeat: every node
+// broadcasts, every node within range monitors everyone it has ever heard.
+// No relaying — the naive flat design the paper's Section 3 costs out.
+type AllPairsHeartbeat struct {
+	Origin NodeID
+	Seq    uint64
+}
+
+// Kind implements Message.
+func (*AllPairsHeartbeat) Kind() Kind { return KindAllPairsHeartbeat }
+
+// WireSize implements Message.
+func (*AllPairsHeartbeat) WireSize() int { return 1 + 4 + 8 }
+
+func (m *AllPairsHeartbeat) append(b []byte) []byte {
+	b = appendU32(b, uint32(m.Origin))
+	return appendU64(b, m.Seq)
+}
+
+func (m *AllPairsHeartbeat) decode(b []byte, s *DecodeScratch) ([]byte, error) {
+	var u32 uint32
+	var err error
+	if u32, b, err = readU32(b); err != nil {
+		return nil, err
+	}
+	m.Origin = NodeID(u32)
+	if m.Seq, b, err = readU64(b); err != nil {
+		return nil, err
+	}
 	return b, nil
 }

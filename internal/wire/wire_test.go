@@ -34,6 +34,15 @@ func sampleMessages() []Message {
 		&Aggregate{OriginCH: 4, Epoch: 9, Count: 12, Sum: 274.5, Min: -3.25, Max: 99.75, Sender: 6},
 		&Digest{NID: 8, CH: 1, Epoch: 3, Heard: []NodeID{1}, HasReading: true, Reading: 21.125},
 		&SleepNotice{NID: 14, Epoch: 6, Until: 8},
+		&SWIMPing{From: 2, Target: 9, Seq: 41, OnBehalf: 7,
+			Events: []SWIMEvent{{Node: 3, Failed: true}, {Node: 8, Failed: false}}},
+		&SWIMPingReq{From: 2, Target: 9, Seq: 41, Via: []NodeID{4, 11, 17},
+			Events: []SWIMEvent{{Node: 3, Failed: true}}},
+		&SWIMAck{From: 9, To: 2, Seq: 41, OnBehalf: 9,
+			Events: []SWIMEvent{{Node: 5, Failed: false}}},
+		&FDQuery{From: 6, Seq: 12},
+		&FDResponse{From: 9, To: 6, Seq: 12},
+		&AllPairsHeartbeat{Origin: 21, Seq: 300},
 	}
 }
 

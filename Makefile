@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check vet lint fmt-check build test race benchsmoke benchcmp scale-smoke baseline-smoke fuzz-smoke live-smoke conformance bench fmt
+.PHONY: check vet lint fmt-check build test race benchsmoke benchcmp scale-smoke baseline-smoke par-smoke fuzz-smoke live-smoke conformance bench fmt
 
 ## check: the pre-PR gate. Run this before sending any change for review.
-check: vet lint fmt-check build test race benchsmoke benchcmp scale-smoke baseline-smoke fuzz-smoke live-smoke
+check: vet lint fmt-check build test race benchsmoke benchcmp scale-smoke baseline-smoke par-smoke fuzz-smoke live-smoke
 	@echo "check: all gates passed"
 
 vet:
@@ -43,17 +43,19 @@ benchsmoke:
 ## benchcmp: the allocation-regression gate. Runs the alloc-sensitive
 ## benchmarks (FDSEpoch, RadioBroadcast, Codec, and the per-detector
 ## SWIM/QueryResponse/AllPairs epoch benchmarks) and fails if any allocs/op
-## figure regresses more than 10% against the committed baseline
-## (bench_baseline.json). When an optimization lowers a count, tighten the
-## baseline in the same PR so the gate keeps biting.
-## The scale benchmarks (FDSEpoch10k, ShardedEpoch) run in a second
-## invocation at -benchtime 1x: one iteration is seconds of simulation, and
-## their allocation counts are deterministic at fixed seed regardless of
+## or B/op figure regresses more than 10% against the committed baseline
+## (bench_baseline.json); ns/op deltas print as info lines but never gate
+## (wall-clock is machine-dependent). When an optimization lowers a count,
+## tighten the baseline in the same PR so the gate keeps biting.
+## The scale benchmarks (FDSEpoch10k, ShardedEpoch, and the
+## FDSEpochParallel serial-vs-parallel pair) run in a second invocation at
+## -benchtime 1x: one iteration is seconds of simulation, and their
+## allocation counts are deterministic at fixed seed regardless of
 ## iteration count. Both invocations feed one benchcmp run.
 benchcmp:
 	{ $(GO) test -run '^$$' -bench 'BenchmarkFDSEpoch$$|BenchmarkRadioBroadcast$$|BenchmarkCodec$$|BenchmarkSWIMEpoch$$|BenchmarkQueryResponseEpoch$$|BenchmarkAllPairsEpoch$$' \
 		-benchtime 20x -benchmem . && \
-	  $(GO) test -run '^$$' -bench 'BenchmarkFDSEpoch10k$$|BenchmarkShardedEpoch$$' \
+	  $(GO) test -run '^$$' -bench 'BenchmarkFDSEpoch10k$$|BenchmarkShardedEpoch$$|BenchmarkFDSEpochParallel' \
 		-benchtime 1x -benchmem . ; } | $(GO) run ./cmd/benchcmp -baseline bench_baseline.json
 
 ## scale-smoke: the sharded engine's cross-partition determinism gate at a
@@ -79,6 +81,19 @@ baseline-smoke:
 	echo "$$a"; \
 	if [ "$$a" != "$$b" ]; then echo "baseline-smoke: HASH MISMATCH between -workers 1 and -workers 4:"; echo "$$b"; exit 1; fi; \
 	echo "baseline-smoke: 1-worker and 4-worker matrix hashes identical"
+
+## par-smoke: the intra-replica parallel engine's determinism gate at a
+## scale the unit tests don't reach: a 300-node crash wave, run with
+## -epoch-workers 1 and again with -epoch-workers 4, must print a
+## bit-identical trace hash. See EXPERIMENTS.md "Intra-replica cluster
+## parallelism".
+par-smoke:
+	$(GO) build -o bin/fdsim ./cmd/fdsim
+	@a="$$(bin/fdsim -epoch-workers 1 -nodes 300 -field 900 -crashes 8 -crash-epoch 3 -epochs 8 -seed 42 | grep 'trace hash:')"; \
+	b="$$(bin/fdsim -epoch-workers 4 -nodes 300 -field 900 -crashes 8 -crash-epoch 3 -epochs 8 -seed 42 | grep 'trace hash:')"; \
+	echo "$$a"; \
+	if [ "$$a" != "$$b" ]; then echo "par-smoke: HASH MISMATCH between -epoch-workers 1 and -epoch-workers 4:"; echo "$$b"; exit 1; fi; \
+	echo "par-smoke: 1-worker and 4-worker trace hashes identical"
 
 ## fuzz-smoke: a short native-fuzz pass over the wire codec's two targets
 ## (FuzzDecode: Decode vs DecodeInto differential on hostile bytes;

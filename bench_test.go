@@ -21,6 +21,7 @@ import (
 	"clusterfds/internal/metrics"
 	"clusterfds/internal/montecarlo"
 	"clusterfds/internal/node"
+	"clusterfds/internal/par"
 	"clusterfds/internal/radio"
 	"clusterfds/internal/scenario"
 	"clusterfds/internal/shard"
@@ -450,6 +451,48 @@ func BenchmarkFDSEpoch10k(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(w.Kernel.Steps()-startEvents)/float64(b.N), "kernel-events/epoch")
+}
+
+// BenchmarkFDSEpochParallel is the intra-replica parallelism speedup pair:
+// a fixed 600-host, 8-epoch crash wave on the strip-partitioned engine
+// (internal/par), run once per iteration at workers=1 and workers=4. The
+// work is identical — the engine's results are bit-identical at every
+// worker count (TestWorkerCountInvariance and the golden test pin the
+// hash), asserted here via the message tallies — so on a >=4-core machine
+// speedup = workers=1 ns/op ÷ workers=4 ns/op. On fewer cores the pair
+// instead measures the coordination overhead of the idle worker pool.
+// Tracing is off: the benchmark times the compute path, not trace-string
+// formatting. The build runs outside the timer; only the epoch drain is
+// measured.
+func BenchmarkFDSEpochParallel(b *testing.B) {
+	tallies := map[int][2]uint64{}
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			var sends, deliveries uint64
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				e := par.Build(par.Config{
+					Seed: 1, Nodes: 600, FieldSide: 1200, LossProb: 0.1,
+					Workers: workers,
+				})
+				timing := cluster.DefaultTiming()
+				e.CrashRandomAt(timing.EpochStart(3)+timing.Interval/2, 6)
+				b.StartTimer()
+				e.RunEpochs(8)
+				b.StopTimer()
+				sends, deliveries = e.Sends(), e.Deliveries()
+				b.StartTimer()
+			}
+			b.StopTimer()
+			tallies[workers] = [2]uint64{sends, deliveries}
+			b.ReportMetric(float64(workers), "workers")
+		})
+	}
+	if tallies[1] != tallies[4] {
+		b.Fatalf("tallies diverged: workers=1 %v workers=4 %v", tallies[1], tallies[4])
+	}
 }
 
 // BenchmarkShardedEpoch measures the sharded engine (internal/shard) on the

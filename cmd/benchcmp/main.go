@@ -1,26 +1,33 @@
 // Command benchcmp is the allocation-regression gate: it reads `go test
-// -bench -benchmem` output on stdin, extracts allocs/op for each benchmark,
-// and compares them against a committed baseline JSON. Any benchmark whose
-// allocs/op exceeds its baseline by more than the tolerance fails the gate,
-// as does a baseline benchmark missing from the input (a renamed or deleted
-// benchmark must be renamed in the baseline too, deliberately). The reverse
-// is informational only: a benchmark present in the input but absent from
-// the baseline is reported as "new" and does not fail the gate, so a PR can
-// introduce a benchmark and ratchet it into the baseline in one change.
+// -bench -benchmem` output on stdin, extracts allocs/op, B/op, and ns/op for
+// each benchmark, and compares them against a committed baseline JSON. Any
+// benchmark whose allocs/op or B/op exceeds its baseline by more than the
+// tolerance fails the gate, as does a baseline benchmark missing from the
+// input (a renamed or deleted benchmark must be renamed in the baseline too,
+// deliberately). The reverse is informational only: a benchmark present in
+// the input but absent from the baseline is reported as "new" and does not
+// fail the gate, so a PR can introduce a benchmark and ratchet it into the
+// baseline in one change.
 //
 // Usage:
 //
 //	go test -run '^$' -bench '...' -benchmem . | benchcmp -baseline bench_baseline.json
 //
-// The baseline maps bare benchmark names (no -cpu suffix) to allocs/op:
+// The baseline maps bare benchmark names (no -cpu suffix) to either a bare
+// number (legacy form, allocs/op only) or an object carrying all three
+// figures:
 //
-//	{"BenchmarkFDSEpoch": 35620, "BenchmarkCodec": 3}
+//	{"BenchmarkFDSEpoch": {"allocs": 1838, "bytes": 1036623, "ns": 20262772},
+//	 "BenchmarkCodec": 3}
 //
-// Allocation counts at a fixed -benchtime are deterministic for this
-// repository's benchmarks (single-threaded simulation, fixed seeds), so the
-// default tolerance of 10% only absorbs incidental variation from runtime
-// internals across Go releases, not real regressions. When an optimization
-// lowers a count, benchcmp says so; tighten the baseline in the same PR.
+// Allocation and byte counts at a fixed -benchtime are deterministic for
+// this repository's benchmarks (single-threaded simulation, fixed seeds), so
+// the default tolerance of 10% only absorbs incidental variation from
+// runtime internals across Go releases, not real regressions. When an
+// optimization lowers a count, benchcmp says so; tighten the baseline in the
+// same PR. Wall-clock (ns/op) depends on the machine, so it is never gated:
+// when the baseline carries an ns figure, benchcmp prints the delta as an
+// info line so drift is visible in the log without flaking the gate.
 package main
 
 import (
@@ -35,11 +42,33 @@ import (
 )
 
 // benchLine matches one -benchmem result line and captures the bare name
-// (without the -GOMAXPROCS suffix) and the allocs/op figure.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+.*?([\d.]+)\s+allocs/op`)
+// (without the -GOMAXPROCS suffix) and the ns/op, B/op, and allocs/op
+// figures.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op.*?([\d.]+) B/op\s+([\d.]+) allocs/op`)
+
+// entry is one benchmark's pinned figures. Allocs and Bytes are gated;
+// Bytes == 0 means "not pinned" (legacy baselines carry only allocs). NS is
+// informational only — machine-dependent, so deviations print but never
+// fail.
+type entry struct {
+	Allocs float64 `json:"allocs"`
+	Bytes  float64 `json:"bytes,omitempty"`
+	NS     float64 `json:"ns,omitempty"`
+}
+
+// UnmarshalJSON accepts either the legacy bare-number form (allocs/op) or
+// the full object form.
+func (e *entry) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] != '{' {
+		return json.Unmarshal(b, &e.Allocs)
+	}
+	type bare entry // drop methods to avoid recursion
+	return json.Unmarshal(b, (*bare)(e))
+}
 
 func main() {
-	baselinePath := flag.String("baseline", "bench_baseline.json", "committed baseline JSON (name -> allocs/op)")
+	baselinePath := flag.String("baseline", "bench_baseline.json",
+		"committed baseline JSON (name -> allocs/op number or {allocs, bytes, ns} object)")
 	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional increase over baseline")
 	flag.Parse()
 
@@ -48,7 +77,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
 		os.Exit(2)
 	}
-	var baseline map[string]float64
+	var baseline map[string]entry
 	if err := json.Unmarshal(raw, &baseline); err != nil {
 		fmt.Fprintf(os.Stderr, "benchcmp: parsing %s: %v\n", *baselinePath, err)
 		os.Exit(2)
@@ -58,7 +87,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	got := make(map[string]float64)
+	got := make(map[string]entry)
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -68,11 +97,13 @@ func main() {
 		if mm == nil {
 			continue
 		}
-		v, err := strconv.ParseFloat(mm[2], 64)
-		if err != nil {
+		ns, err1 := strconv.ParseFloat(mm[2], 64)
+		bytes, err2 := strconv.ParseFloat(mm[3], 64)
+		allocs, err3 := strconv.ParseFloat(mm[4], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
 			continue
 		}
-		got[mm[1]] = v
+		got[mm[1]] = entry{Allocs: allocs, Bytes: bytes, NS: ns}
 	}
 	if err := sc.Err(); err != nil {
 		fmt.Fprintf(os.Stderr, "benchcmp: reading stdin: %v\n", err)
@@ -97,8 +128,26 @@ func main() {
 	}
 	sort.Strings(extra)
 	for _, name := range extra {
-		fmt.Printf("benchcmp: new  %s: %.0f allocs/op (not in baseline — add it to ratchet the gate)\n",
-			name, got[name])
+		fmt.Printf("benchcmp: new  %s: %.0f allocs/op, %.0f B/op (not in baseline — add it to ratchet the gate)\n",
+			name, got[name].Allocs, got[name].Bytes)
+	}
+
+	// gauge compares one gated figure against its baseline and returns
+	// whether it regressed past the tolerance.
+	gauge := func(name, unit string, cur, base float64) bool {
+		limit := base * (1 + *tolerance)
+		switch {
+		case cur > limit:
+			fmt.Fprintf(os.Stderr, "benchcmp: FAIL %s: %.0f %s > %.0f (baseline %.0f +%.0f%%)\n",
+				name, cur, unit, limit, base, *tolerance*100)
+			return true
+		case cur < base:
+			fmt.Printf("benchcmp: ok   %s: %.0f %s (improved from %.0f — consider tightening the baseline)\n",
+				name, cur, unit, base)
+		default:
+			fmt.Printf("benchcmp: ok   %s: %.0f %s (baseline %.0f)\n", name, cur, unit, base)
+		}
+		return false
 	}
 
 	failed := false
@@ -110,17 +159,14 @@ func main() {
 			failed = true
 			continue
 		}
-		limit := base * (1 + *tolerance)
-		switch {
-		case cur > limit:
-			fmt.Fprintf(os.Stderr, "benchcmp: FAIL %s: %.0f allocs/op > %.0f (baseline %.0f +%.0f%%)\n",
-				name, cur, limit, base, *tolerance*100)
-			failed = true
-		case cur < base:
-			fmt.Printf("benchcmp: ok   %s: %.0f allocs/op (improved from %.0f — consider tightening the baseline)\n",
-				name, cur, base)
-		default:
-			fmt.Printf("benchcmp: ok   %s: %.0f allocs/op (baseline %.0f)\n", name, cur, base)
+		failed = gauge(name, "allocs/op", cur.Allocs, base.Allocs) || failed
+		if base.Bytes > 0 {
+			failed = gauge(name, "B/op", cur.Bytes, base.Bytes) || failed
+		}
+		if base.NS > 0 {
+			// Wall-clock is machine-dependent: report, never gate.
+			fmt.Printf("benchcmp: info %s: %.0f ns/op (baseline %.0f, %+.1f%%)\n",
+				name, cur.NS, base.NS, 100*(cur.NS-base.NS)/base.NS)
 		}
 	}
 	if failed {

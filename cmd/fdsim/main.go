@@ -80,6 +80,8 @@ func main() {
 		"run the sharded large-scale engine with this many spatial shards (0 = legacy per-host runtime); results are bit-identical at every shard count")
 	shardWorkers := flag.Int("shard-workers", 1,
 		"worker pool draining shards within a window (sharded engine only; any value gives identical results)")
+	epochWorkers := flag.Int("epoch-workers", 0,
+		"run the intra-replica parallel engine with this many workers (0 = legacy serial runtime); the trace hash is bit-identical at every worker count")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -123,6 +125,17 @@ func main() {
 			FieldSide: *field,
 			LossProb:  *lossProb,
 		}, *shards, *shardWorkers, *epochs, *crashes, *crashEpoch)
+		return
+	}
+
+	if *epochWorkers > 0 {
+		runParallel(scenario.Config{
+			Seed:         *seed,
+			Nodes:        *nodes,
+			FieldSide:    *field,
+			LossProb:     *lossProb,
+			EpochWorkers: *epochWorkers,
+		}, *epochs, *crashes, *crashEpoch)
 		return
 	}
 
@@ -376,4 +389,44 @@ func runSharded(cfg scenario.Config, shards, workers, epochs, crashes, crashEpoc
 
 	fmt.Printf("trace hash: %016x\n", res.TraceHash)
 	fmt.Printf("state hash: %016x\n", res.StateHash)
+}
+
+// runParallel drives the intra-replica parallel engine (internal/par): the
+// production cluster stack partitioned into field strips and drained by a
+// conservative-window worker pool. The printed trace hash is bit-identical at
+// every -epoch-workers value; the par-smoke gate greps stdout for it.
+func runParallel(cfg scenario.Config, epochs, crashes, crashEpoch int) {
+	buildStart := time.Now()
+	p := scenario.BuildParallel(cfg)
+	buildElapsed := time.Since(buildStart)
+
+	timing := p.Config().Timing
+	ce := crashEpoch
+	if ce < 0 {
+		ce = 0
+	}
+	crashAt := timing.EpochStart(wire.Epoch(ce)) + timing.Interval/2
+	victims := p.CrashRandomAt(crashAt, crashes)
+
+	runStart := time.Now()
+	p.RunEpochs(epochs)
+	runElapsed := time.Since(runStart)
+
+	eng := p.Engine()
+	fmt.Printf("fdsim: parallel engine nodes=%d field=%.0fm p=%.2f epochs=%d seed=%d strips=%d workers=%d\n",
+		cfg.Nodes, cfg.FieldSide, cfg.LossProb, epochs, cfg.Seed, eng.Strips(), cfg.EpochWorkers)
+	fmt.Printf("build: %v; run: %v for %d sends / %d deliveries\n\n",
+		buildElapsed.Round(time.Millisecond), runElapsed.Round(time.Millisecond),
+		eng.Sends(), eng.Deliveries())
+
+	if len(victims) > 0 {
+		fmt.Printf("crashed at epoch %d (+%v): %v\n", ce, timing.Interval/2, victims)
+		for _, v := range victims {
+			aware, operational := p.Completeness(v)
+			fmt.Printf("  %v: known by %d/%d operational hosts\n", v, aware, operational)
+		}
+		fmt.Println()
+	}
+
+	fmt.Printf("trace hash: %s\n", p.TraceHash())
 }

@@ -87,3 +87,37 @@ func TestGoldenTraceHash(t *testing.T) {
 		t.Errorf("golden run hash changed:\n  got  %s\n  want %s\n(%d trace events) — the run is no longer byte-identical to the pre-rewrite behavior", got, goldenRunHash, sink.n)
 	}
 }
+
+// goldenParallelHash pins the intra-replica parallel engine's canonical run:
+// the same two-wave crash scenario as the legacy golden test, on the
+// strip-partitioned engine (internal/par). The constant was computed at
+// EpochWorkers=1 when the engine landed; the test reruns the scenario at 1,
+// 2, and 4 workers and requires the SAME digest from each — so it gates both
+// behavioral drift over time and worker-count divergence in one constant.
+// Update it only for changes MEANT to alter the parallel engine's timeline
+// (e.g. a different strip partition), and say so in the commit message.
+const goldenParallelHash = "1f4057ea22bee85fd456f41a5cc788dad469c98163deec478629095f5f3949e1"
+
+// TestGoldenParallelTraceHash is the parallel twin of TestGoldenTraceHash:
+// clustering, FDS epochs, two crash waves, rescissions — drained by the
+// conservative-window worker pool — must hash bit-identically at every
+// worker count, and identically to the committed constant.
+func TestGoldenParallelTraceHash(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		p := scenario.BuildParallel(scenario.Config{
+			Seed:         20260806,
+			Nodes:        200,
+			FieldSide:    700,
+			LossProb:     0.1,
+			Stack:        scenario.StackClusterFDS,
+			EpochWorkers: workers,
+		})
+		timing := p.Config().Timing
+		p.CrashRandomAt(sim.Time(3)*timing.Interval+sim.Time(200*time.Millisecond), 3)
+		p.CrashRandomAt(sim.Time(6)*timing.Interval+sim.Time(700*time.Millisecond), 2)
+		p.RunEpochs(12)
+		if got := p.TraceHash(); got != goldenParallelHash {
+			t.Errorf("EpochWorkers=%d: parallel golden hash changed:\n  got  %s\n  want %s", workers, got, goldenParallelHash)
+		}
+	}
+}

@@ -1,7 +1,7 @@
 package baseline
 
 import (
-	"sort"
+	"slices"
 
 	"clusterfds/internal/node"
 	"clusterfds/internal/sim"
@@ -38,6 +38,49 @@ type QueryResponse struct {
 
 	seq       uint64
 	lastHeard map[wire.NodeID]sim.Time
+
+	// Steady-state scratch: every transport encodes at Send, so one query
+	// and one response value are reused for every transmission, the tick
+	// closure is bound once, and jittered responses draw pooled jobs
+	// dispatched through AfterArg — the per-epoch loop allocates nothing.
+	query   wire.FDQuery
+	resp    wire.FDResponse
+	tickFn  func()
+	jobFree []*qrRespJob
+}
+
+// qrRespJob carries one jittered response through AfterArg without a
+// capturing closure; fired jobs return to the owning detector's free list.
+type qrRespJob struct {
+	q   *QueryResponse
+	to  wire.NodeID
+	seq uint64
+}
+
+// fireQRRespFn is the shared AfterArg trampoline for jittered responses.
+func fireQRRespFn(arg any) {
+	j := arg.(*qrRespJob)
+	q := j.q
+	q.resp.From, q.resp.To, q.resp.Seq = q.host.ID(), j.to, j.seq
+	q.host.Send(&q.resp)
+	q.jobFree = append(q.jobFree, j)
+}
+
+func (q *QueryResponse) takeJob() *qrRespJob {
+	if n := len(q.jobFree); n > 0 {
+		j := q.jobFree[n-1]
+		q.jobFree[n-1] = nil
+		q.jobFree = q.jobFree[:n-1]
+		return j
+	}
+	// Grow by blocks: the jittered-response fan-in keeps rising while
+	// queries and responses interleave, so amortize the growth.
+	blk := make([]qrRespJob, 8)
+	for i := range blk {
+		blk[i].q = q
+		q.jobFree = append(q.jobFree, &blk[i])
+	}
+	return q.takeJob()
 }
 
 // NewQueryResponse returns a query-response detector.
@@ -51,14 +94,16 @@ func NewQueryResponse(cfg QueryResponseConfig) *QueryResponse {
 // Start implements node.Protocol.
 func (q *QueryResponse) Start(h *node.Host) {
 	q.host = h
+	q.tickFn = q.tick
 	first := sim.Time(h.Rand().Int63n(int64(q.cfg.Interval)))
-	h.After(first, q.tick)
+	h.After(first, q.tickFn)
 }
 
 func (q *QueryResponse) tick() {
 	q.seq++
-	q.host.Send(&wire.FDQuery{From: q.host.ID(), Seq: q.seq})
-	q.host.After(q.cfg.Interval, q.tick)
+	q.query.From, q.query.Seq = q.host.ID(), q.seq
+	q.host.Send(&q.query)
+	q.host.After(q.cfg.Interval, q.tickFn)
 }
 
 // Handle implements node.Protocol: any directly heard query or response is
@@ -73,12 +118,13 @@ func (q *QueryResponse) Handle(h *node.Host, m wire.Message, from wire.NodeID) {
 		// outlive Handle.
 		to, seq := msg.From, msg.Seq
 		if q.cfg.ResponseJitter > 0 {
-			h.After(sim.Time(h.Rand().Int63n(int64(q.cfg.ResponseJitter))), func() {
-				q.host.Send(&wire.FDResponse{From: q.host.ID(), To: to, Seq: seq})
-			})
+			j := q.takeJob()
+			j.to, j.seq = to, seq
+			h.AfterArg(sim.Time(h.Rand().Int63n(int64(q.cfg.ResponseJitter))), fireQRRespFn, j)
 			return
 		}
-		q.host.Send(&wire.FDResponse{From: q.host.ID(), To: to, Seq: seq})
+		q.resp.From, q.resp.To, q.resp.Seq = q.host.ID(), to, seq
+		q.host.Send(&q.resp)
 	case *wire.FDResponse:
 		q.lastHeard[msg.From] = now
 	}
@@ -101,7 +147,7 @@ func (q *QueryResponse) KnownFailed() []wire.NodeID {
 			out = append(out, id)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 

@@ -26,6 +26,7 @@ import (
 	"cmp"
 	"slices"
 
+	"clusterfds/internal/dense"
 	"clusterfds/internal/node"
 	"clusterfds/internal/sim"
 	"clusterfds/internal/trace"
@@ -138,11 +139,17 @@ type Protocol struct {
 	coverage      map[wire.NodeID]float64
 	epochCoverage map[wire.NodeID]int
 
-	// Per-epoch transient state.
-	heardUnmarked  map[wire.NodeID]bool // unmarked heartbeats heard this epoch
-	heardMarked    bool                 // any marked heartbeat heard this epoch
-	heardDeclare   bool                 // a CHDeclare was heard this epoch
-	heardAnnounce  bool                 // any ClusterAnnounce was heard this epoch
+	// Per-epoch transient state. The unmarked-heartbeat set is a dense bitset
+	// over interned NIDs plus an insertion-order list for iteration: the
+	// former map grew fresh buckets every epoch under churn, and every use of
+	// the set (minimum check, member-set inserts) is order-independent, so
+	// list order cannot affect behavior.
+	ids            dense.Interner
+	heardUnmarked  dense.Bitset
+	heardList      []wire.NodeID
+	heardMarked    bool // any marked heartbeat heard this epoch
+	heardDeclare   bool // a CHDeclare was heard this epoch
+	heardAnnounce  bool // any ClusterAnnounce was heard this epoch
 	memberChanged  bool
 	declareTimer   sim.Timer
 	pendingDeclare bool
@@ -156,11 +163,55 @@ type Protocol struct {
 	// protocol calls View() on each delivery (intercluster does it per
 	// report), and rebuilding — three fresh sorted slices — was the single
 	// largest allocation site in the epoch hot loop. Each mutator that
-	// changes view-visible state calls invalidateView; the rebuild
-	// allocates FRESH slices so snapshots handed out before a mutation
-	// stay immutable (fds holds its View across a whole epoch).
+	// changes view-visible state calls invalidateView; the rebuild carves
+	// fresh slices out of the epoch arena so snapshots handed out before a
+	// mutation stay immutable (fds holds its View across a whole epoch).
 	viewCache View
 	viewValid bool
+
+	// arena backs the View snapshot slices. Snapshots are immutable but
+	// short-lived — no consumer holds one past the epoch after it was taken
+	// (fds re-snapshots every runEpoch, intercluster per delivery) — so the
+	// arena recycles generation g's memory at generation g+2 instead of
+	// leaving three slices per rebuild to the garbage collector. See
+	// DESIGN.md §12 for the ownership rules.
+	arena epochArena
+
+	// Persistent phase callbacks and reusable message values: the epoch
+	// schedule re-arms the same func values and re-fills the same message
+	// structs every epoch (every transport encodes during Send, so a message
+	// value is recyclable as soon as Send returns), which keeps the
+	// steady-state epoch free of per-timer closures and per-send heap
+	// messages.
+	epochFn, hbFn, declareFn, announceFn, registerGWFn, declareFireFn func()
+	hbMsg                                                             wire.Heartbeat
+	annMsg                                                            wire.ClusterAnnounce
+	gwMsg                                                             wire.GWRegister
+	gwOthers                                                          []wire.NodeID
+	rankScratch                                                       []wire.NodeID
+	dchSpare                                                          []wire.NodeID
+}
+
+// epochArena is a two-generation bump allocator for NodeID slices handed out
+// in View snapshots. flip() retires the previous generation and starts a new
+// one; memory allocated two flips ago is reused in place. A slice carved from
+// the arena therefore stays intact for the epoch of its creation plus the
+// next — exactly the lifetime contract of a View snapshot.
+type epochArena struct {
+	cur, prev []wire.NodeID
+}
+
+func (a *epochArena) flip() {
+	a.cur, a.prev = a.prev[:0], a.cur
+}
+
+// carve appends the accumulated tail [start:] as an immutable slice and
+// returns it capped, so later carves cannot append into it.
+func (a *epochArena) carve(start int) []wire.NodeID {
+	if len(a.cur) == start {
+		return nil
+	}
+	return a.cur[start:len(a.cur):len(a.cur)]
 }
 
 // New returns a formation protocol with the given configuration.
@@ -173,7 +224,6 @@ func New(cfg Config) *Protocol {
 	}
 	return &Protocol{
 		cfg:           cfg,
-		heardUnmarked: make(map[wire.NodeID]bool),
 		members:       make(map[wire.NodeID]bool),
 		borderPeers:   make(map[wire.NodeID]map[wire.NodeID]wire.Epoch),
 		gwFlag:        make(map[wire.NodeID]bool),
@@ -194,6 +244,24 @@ func (p *Protocol) Timing() Timing { return p.cfg.Timing }
 // next heartbeat interval rather than replaying missed epochs.
 func (p *Protocol) Start(h *node.Host) {
 	p.host = h
+	// One closure per callback per lifetime, re-armed every epoch. The
+	// epoch-boundary callback derives its epoch from the clock (it fires at
+	// exactly EpochStart(e)); the in-epoch phase callbacks read p.epoch,
+	// which runEpoch set when their epoch began.
+	p.epochFn = func() { p.runEpoch(p.cfg.Timing.EpochOf(p.host.Now())) }
+	p.hbFn = func() {
+		p.hbMsg = wire.Heartbeat{NID: p.host.ID(), Epoch: p.epoch, Marked: p.marked}
+		p.host.Send(&p.hbMsg)
+	}
+	p.declareFn = func() { p.maybeDeclare(p.epoch) }
+	p.announceFn = func() { p.maybeAnnounce(p.epoch) }
+	p.registerGWFn = func() { p.maybeRegisterGW(p.epoch) }
+	p.declareFireFn = func() {
+		if !p.pendingDeclare || p.marked || p.heardDeclare {
+			return
+		}
+		p.becomeCH(p.epoch)
+	}
 	e := p.cfg.Timing.EpochOf(h.Now())
 	if h.Now() > p.cfg.Timing.EpochStart(e) {
 		e++
@@ -204,16 +272,17 @@ func (p *Protocol) Start(h *node.Host) {
 
 func (p *Protocol) scheduleEpoch(e wire.Epoch) {
 	at := p.cfg.Timing.EpochStart(e)
-	delay := at - p.host.Now()
-	p.host.After(delay, func() { p.runEpoch(e) })
+	p.host.AfterBatched(at-p.host.Now(), p.epochFn)
 }
 
 // runEpoch executes one iteration of the (never-terminating, F4) formation
 // algorithm for this host.
 func (p *Protocol) runEpoch(e wire.Epoch) {
 	p.epoch = e
+	p.arena.flip()     // view snapshots older than one epoch are dead; reuse
 	p.invalidateView() // epoch is view-visible, and staleness windows move
-	clear(p.heardUnmarked)
+	p.heardUnmarked.Clear()
+	p.heardList = p.heardList[:0]
 	p.heardMarked = false
 	p.heardDeclare = false
 	p.heardAnnounce = false
@@ -228,21 +297,19 @@ func (p *Protocol) runEpoch(e wire.Epoch) {
 	// and round fds.R-1 of the failure detection service, which observes
 	// the same messages.
 	jitter := sim.Time(p.host.Rand().Int63n(t.JitterSpan()))
-	p.host.After(jitter, func() {
-		p.host.Send(&wire.Heartbeat{NID: p.host.ID(), Epoch: e, Marked: p.marked})
-	})
+	p.host.After(jitter, p.hbFn)
 
 	if !p.marked {
 		// Election decision at the end of the probe round.
-		p.host.After(t.R1End(), func() { p.maybeDeclare(e) })
+		p.host.AfterBatched(t.R1End(), p.declareFn)
 	}
 
 	// Announce slot: clusterheads refresh the cluster organization when it
 	// changed or when unadmitted hosts are knocking.
-	p.host.After(t.R2End(), func() { p.maybeAnnounce(e) })
+	p.host.AfterBatched(t.R2End(), p.announceFn)
 
 	// Gateway registration slot.
-	p.host.After(t.R3End(), func() { p.maybeRegisterGW(e) })
+	p.host.AfterBatched(t.R3End(), p.registerGWFn)
 
 	p.scheduleEpoch(e + 1)
 }
@@ -264,7 +331,7 @@ func (p *Protocol) maybeDeclare(e wire.Epoch) {
 		p.deferCount++
 		return
 	}
-	for id := range p.heardUnmarked {
+	for _, id := range p.heardList {
 		if id < p.host.ID() {
 			return // not the lowest unmarked node in the neighborhood
 		}
@@ -275,12 +342,7 @@ func (p *Protocol) maybeDeclare(e wire.Epoch) {
 	}
 	backoff := sim.Time(p.host.Rand().Int63n(backoffMax))
 	p.pendingDeclare = true
-	p.declareTimer = p.host.After(backoff, func() {
-		if !p.pendingDeclare || p.marked || p.heardDeclare {
-			return
-		}
-		p.becomeCH(e)
-	})
+	p.declareTimer = p.host.After(backoff, p.declareFireFn)
 }
 
 // becomeCH turns the host into a clusterhead whose initial membership is
@@ -291,8 +353,9 @@ func (p *Protocol) becomeCH(e wire.Epoch) {
 	p.isCH = true
 	p.myCH = p.host.ID()
 	p.invalidateView()
-	p.members = map[wire.NodeID]bool{p.host.ID(): true}
-	for id := range p.heardUnmarked {
+	clear(p.members)
+	p.members[p.host.ID()] = true
+	for _, id := range p.heardList {
 		p.members[id] = true
 	}
 	p.memberChanged = true
@@ -312,20 +375,23 @@ func (p *Protocol) maybeAnnounce(e wire.Epoch) {
 	if !p.isCH {
 		return
 	}
-	for id := range p.heardUnmarked {
+	for _, id := range p.heardList {
 		p.members[id] = true
 	}
 	p.foldCoverage()
 	p.rankDCHs()
 	p.invalidateView() // members may have grown; dchs re-ranked
 	p.memberChanged = false
-	ann := &wire.ClusterAnnounce{
+	// The reusable announce message aliases live protocol state (the DCH
+	// ranking) and message scratch; both are safe because Send encodes
+	// before returning.
+	p.annMsg = wire.ClusterAnnounce{
 		CH:      p.host.ID(),
 		Epoch:   e,
-		Members: p.sortedMembers(),
-		DCHs:    append([]wire.NodeID(nil), p.dchs...),
+		Members: p.appendSortedMembers(p.annMsg.Members[:0]),
+		DCHs:    p.dchs,
 	}
-	p.host.Send(ann)
+	p.host.Send(&p.annMsg)
 	p.host.Trace(trace.TypeClusterFormed, "")
 }
 
@@ -340,7 +406,7 @@ func (p *Protocol) foldCoverage() {
 		obs := float64(p.epochCoverage[id])
 		p.coverage[id] = (1-alpha)*p.coverage[id] + alpha*obs
 	}
-	p.epochCoverage = make(map[wire.NodeID]int)
+	clear(p.epochCoverage)
 }
 
 // rankDCHs (re)designates the deputy clusterheads: members ranked by
@@ -351,7 +417,7 @@ func (p *Protocol) foldCoverage() {
 // (hysteresis), so the ranking — and therefore every member's idea of who
 // watches the CH — stays stable under channel noise.
 func (p *Protocol) rankDCHs() {
-	candidates := make([]wire.NodeID, 0, len(p.members))
+	candidates := p.rankScratch[:0]
 	for id := range p.members {
 		if id != p.host.ID() {
 			candidates = append(candidates, id)
@@ -367,34 +433,35 @@ func (p *Protocol) rankDCHs() {
 		}
 		return cmp.Compare(a, b)
 	})
+	p.rankScratch = candidates // keep the grown capacity for the next epoch
 	if len(candidates) > p.cfg.MaxDCH {
 		candidates = candidates[:p.cfg.MaxDCH]
 	}
 	// Hysteresis: surviving incumbents keep their posts; vacancies are
 	// filled by the best challengers; at most one decisive replacement per
-	// epoch so all members' views stay convergent.
+	// epoch so all members' views stay convergent. The new ranking is built
+	// in the spare buffer and ping-ponged with the live one, so re-ranking
+	// never reads the buffer it is writing. Seat counts are tiny (MaxDCH,
+	// typically 2), so membership tests are linear scans, not a set.
 	const challengeFactor = 1.5
-	inNext := make(map[wire.NodeID]bool, p.cfg.MaxDCH)
-	next := make([]wire.NodeID, 0, p.cfg.MaxDCH)
+	next := p.dchSpare[:0]
 	for _, d := range p.dchs {
-		if len(next) < p.cfg.MaxDCH && p.members[d] && d != p.host.ID() && !inNext[d] {
+		if len(next) < p.cfg.MaxDCH && p.members[d] && d != p.host.ID() && !slices.Contains(next, d) {
 			next = append(next, d)
-			inNext[d] = true
 		}
 	}
 	for _, c := range candidates {
 		if len(next) >= p.cfg.MaxDCH {
 			break
 		}
-		if !inNext[c] {
+		if !slices.Contains(next, c) {
 			next = append(next, c)
-			inNext[c] = true
 		}
 	}
 	// The best outsider may displace the weakest seat holder, decisively.
 	var challenger wire.NodeID
 	for _, c := range candidates {
-		if !inNext[c] {
+		if !slices.Contains(next, c) {
 			challenger = c
 			break
 		}
@@ -410,6 +477,7 @@ func (p *Protocol) rankDCHs() {
 			next[weakest] = challenger
 		}
 	}
+	p.dchSpare = p.dchs
 	p.dchs = next
 	p.invalidateView()
 }
@@ -421,23 +489,25 @@ func (p *Protocol) maybeRegisterGW(e wire.Epoch) {
 	if !p.marked || p.isCH {
 		return
 	}
-	others := p.currentOtherCHs(e)
-	if len(others) == 0 {
+	p.gwOthers = p.appendOtherCHs(p.gwOthers[:0], e)
+	if len(p.gwOthers) == 0 {
 		return
 	}
-	p.host.Send(&wire.GWRegister{GW: p.host.ID(), AffiliateCH: p.myCH, OtherCHs: others})
+	p.gwMsg = wire.GWRegister{GW: p.host.ID(), AffiliateCH: p.myCH, OtherCHs: p.gwOthers}
+	p.host.Send(&p.gwMsg)
 	p.host.Trace(trace.TypeGWElected, "")
 	// Register ourselves as a candidate for each pair we bridge.
-	for _, oc := range others {
+	for _, oc := range p.gwOthers {
 		p.addGWCandidate(pairOf(p.myCH, oc), p.host.ID())
 	}
 }
 
-// currentOtherCHs returns the foreign CHs heard recently (within the last
-// few epochs), sorted.
-func (p *Protocol) currentOtherCHs(e wire.Epoch) []wire.NodeID {
+// appendOtherCHs appends the foreign CHs heard recently (within the last
+// few epochs), sorted, to dst. The sort covers only the appended tail, so
+// dst may already hold unrelated data.
+func (p *Protocol) appendOtherCHs(dst []wire.NodeID, e wire.Epoch) []wire.NodeID {
 	const staleAfter = 3 // epochs
-	var out []wire.NodeID
+	start := len(dst)
 	for ch, last := range p.otherCHs {
 		if ch == p.myCH {
 			delete(p.otherCHs, ch)
@@ -447,10 +517,10 @@ func (p *Protocol) currentOtherCHs(e wire.Epoch) []wire.NodeID {
 			delete(p.otherCHs, ch)
 			continue
 		}
-		out = append(out, ch)
+		dst = append(dst, ch)
 	}
-	slices.Sort(out)
-	return out
+	slices.Sort(dst[start:])
+	return dst
 }
 
 func (p *Protocol) addGWCandidate(key pairKey, id wire.NodeID) {
@@ -507,8 +577,9 @@ func (p *Protocol) onHeartbeat(m *wire.Heartbeat) {
 	}
 	if m.Marked {
 		p.heardMarked = true
-	} else {
-		p.heardUnmarked[m.NID] = true
+	} else if i := p.ids.Index(m.NID); !p.heardUnmarked.Get(i) {
+		p.heardUnmarked.Set(i)
+		p.heardList = append(p.heardList, m.NID)
 	}
 }
 
@@ -555,7 +626,7 @@ func (p *Protocol) onAnnounce(m *wire.ClusterAnnounce) {
 }
 
 func (p *Protocol) setMembersFromAnnounce(m *wire.ClusterAnnounce) {
-	p.members = make(map[wire.NodeID]bool, len(m.Members))
+	clear(p.members)
 	for _, id := range m.Members {
 		p.members[id] = true
 	}
@@ -634,8 +705,14 @@ func (p *Protocol) onDigest(m *wire.Digest) {
 // border peer (i.e. excluding clusters this host hears directly), sorted.
 // Stale entries age out after a few epochs.
 func (p *Protocol) BorderClusters() []wire.NodeID {
+	return p.AppendBorderClusters(nil)
+}
+
+// AppendBorderClusters is BorderClusters appending into dst; only the
+// appended tail is sorted.
+func (p *Protocol) AppendBorderClusters(dst []wire.NodeID) []wire.NodeID {
 	const staleAfter = 3
-	var out []wire.NodeID
+	start := len(dst)
 	for ch, peers := range p.borderPeers {
 		for id, last := range peers {
 			if uint64(p.epoch)-uint64(last) > staleAfter {
@@ -652,10 +729,10 @@ func (p *Protocol) BorderClusters() []wire.NodeID {
 		if _, direct := p.otherCHs[ch]; direct {
 			continue // a one-hop gateway path exists; prefer it
 		}
-		out = append(out, ch)
+		dst = append(dst, ch)
 	}
-	slices.Sort(out)
-	return out
+	slices.Sort(dst[start:])
+	return dst
 }
 
 // IsBorderPeer reports whether id is a known member of the foreign cluster
@@ -714,8 +791,8 @@ func (p *Protocol) Demote() {
 	p.marked = false
 	p.isCH = false
 	p.myCH = wire.NoNode
-	p.members = make(map[wire.NodeID]bool)
-	p.dchs = nil
+	clear(p.members)
+	p.dchs = p.dchs[:0]
 	p.invalidateView()
 }
 
@@ -780,9 +857,15 @@ func (p *Protocol) View() View {
 			IsCH:   p.isCH,
 		}
 		if p.marked {
-			v.Members = p.sortedMembers()
-			v.DCHs = append([]wire.NodeID(nil), p.dchs...)
-			v.OtherCHs = p.currentOtherCHs(p.epoch)
+			start := len(p.arena.cur)
+			p.arena.cur = p.appendSortedMembers(p.arena.cur)
+			v.Members = p.arena.carve(start)
+			start = len(p.arena.cur)
+			p.arena.cur = append(p.arena.cur, p.dchs...)
+			v.DCHs = p.arena.carve(start)
+			start = len(p.arena.cur)
+			p.arena.cur = p.appendOtherCHs(p.arena.cur, p.epoch)
+			v.OtherCHs = p.arena.carve(start)
 		}
 		p.viewCache = v
 		p.viewValid = true
@@ -798,20 +881,26 @@ func (p *Protocol) invalidateView() { p.viewValid = false }
 // NeighborCHs returns the clusterheads of neighboring clusters known to
 // this CH, sorted. Empty for non-CHs.
 func (p *Protocol) NeighborCHs() []wire.NodeID {
+	return p.AppendNeighborCHs(nil)
+}
+
+// AppendNeighborCHs is NeighborCHs appending into dst; only the appended
+// tail is sorted.
+func (p *Protocol) AppendNeighborCHs(dst []wire.NodeID) []wire.NodeID {
 	if !p.isCH {
-		return nil
+		return dst
 	}
 	const staleAfter = 5
-	var out []wire.NodeID
+	start := len(dst)
 	for ch, last := range p.neighborCHs {
 		if uint64(p.epoch)-uint64(last) > staleAfter {
 			delete(p.neighborCHs, ch)
 			continue
 		}
-		out = append(out, ch)
+		dst = append(dst, ch)
 	}
-	slices.Sort(out)
-	return out
+	slices.Sort(dst[start:])
+	return dst
 }
 
 // GWRank returns this host's rank among the known gateway candidates
@@ -820,41 +909,48 @@ func (p *Protocol) NeighborCHs() []wire.NodeID {
 // candidate for that pair.
 func (p *Protocol) GWRank(chA, chB wire.NodeID) (rank, n int, ok bool) {
 	set := p.gwCandidates[pairOf(chA, chB)]
-	if !set[p.host.ID()] {
+	me := p.host.ID()
+	if !set[me] {
 		return 0, len(set), false
 	}
-	ids := make([]wire.NodeID, 0, len(set))
+	// Rank in the sorted candidate list = 1 + the number of smaller NIDs;
+	// counting avoids materializing the sorted list.
+	rank = 1
 	for id := range set {
-		ids = append(ids, id)
-	}
-	slices.Sort(ids)
-	for i, id := range ids {
-		if id == p.host.ID() {
-			return i + 1, len(ids), true
+		if id < me {
+			rank++
 		}
 	}
-	return 0, len(ids), false
+	return rank, len(set), true
 }
 
 // GatewayCandidates returns the known gateway candidates between chA and
 // chB, sorted by NID (the primary gateway first).
 func (p *Protocol) GatewayCandidates(chA, chB wire.NodeID) []wire.NodeID {
-	set := p.gwCandidates[pairOf(chA, chB)]
-	ids := make([]wire.NodeID, 0, len(set))
-	for id := range set {
-		ids = append(ids, id)
-	}
-	slices.Sort(ids)
-	return ids
+	return p.AppendGatewayCandidates(nil, chA, chB)
 }
 
-func (p *Protocol) sortedMembers() []wire.NodeID {
-	ids := make([]wire.NodeID, 0, len(p.members))
-	for id := range p.members {
-		ids = append(ids, id)
+// AppendGatewayCandidates is GatewayCandidates appending into dst; only the
+// appended tail is sorted.
+func (p *Protocol) AppendGatewayCandidates(dst []wire.NodeID, chA, chB wire.NodeID) []wire.NodeID {
+	set := p.gwCandidates[pairOf(chA, chB)]
+	start := len(dst)
+	for id := range set {
+		dst = append(dst, id)
 	}
-	slices.Sort(ids)
-	return ids
+	slices.Sort(dst[start:])
+	return dst
+}
+
+// appendSortedMembers appends the sorted membership to dst; only the
+// appended tail is sorted.
+func (p *Protocol) appendSortedMembers(dst []wire.NodeID) []wire.NodeID {
+	start := len(dst)
+	for id := range p.members {
+		dst = append(dst, id)
+	}
+	slices.Sort(dst[start:])
+	return dst
 }
 
 // --- test/scenario support ---------------------------------------------------

@@ -166,6 +166,24 @@ type Protocol struct {
 	// scenario (Section 4.2).
 	conflictSeen int
 
+	// Persistent phase callbacks and reusable message/scratch values. The
+	// epoch schedule re-arms the same func values every epoch, and every
+	// transport encodes during Send, so the digest/update/request message
+	// structs (and the scratch slices their fields alias) are recyclable the
+	// moment Send returns — the steady-state epoch allocates no per-timer
+	// closures and no per-send heap messages. updMsg doubles as the buffer
+	// behind p.update when this host originates the epoch's update; its
+	// fields are only rewritten by the next origination, an epoch later,
+	// after every alias (peer-forward copies, CurrentUpdate callers) is dead.
+	epochFn, digestFn, detectFn, checkCHFn, reqFwdFn func()
+	digestMsg                                        wire.Digest
+	updMsg                                           wire.HealthUpdate
+	fwdReqMsg                                        wire.ForwardRequest
+	fwdUpdMsg                                        wire.ForwardedUpdate
+	newFailedScratch                                 []wire.NodeID
+	failedScratch                                    []wire.NodeID
+	fwdJobFree                                       []*fwdJob
+
 	// readingSource, when set, supplies a sensor measurement to piggyback
 	// on each epoch's digest — the Section 6 "message sharing between
 	// failure detection and data aggregation". See package aggregate.
@@ -231,6 +249,15 @@ func New(cfg Config, cl *cluster.Protocol) *Protocol {
 // start, the following one otherwise.
 func (p *Protocol) Start(h *node.Host) {
 	p.host = h
+	// One closure per callback per lifetime, re-armed every epoch. The
+	// boundary callback derives its epoch from the clock (it fires exactly at
+	// EpochStart(e)); the in-epoch phase callbacks read p.epoch, which
+	// runEpoch set when their epoch began.
+	p.epochFn = func() { p.runEpoch(p.cfg.Timing.EpochOf(p.host.Now())) }
+	p.digestFn = func() { p.sendDigest(p.epoch) }
+	p.detectFn = func() { p.detectAndAnnounce(p.epoch) }
+	p.checkCHFn = func() { p.checkCHFailure(p.epoch) }
+	p.reqFwdFn = func() { p.maybeRequestForward(p.epoch) }
 	e := p.cfg.Timing.EpochOf(h.Now())
 	// EpochOf floors, so EpochStart(e) <= Now() whenever the product does
 	// not saturate; comparing for exact equality (rather than ordering)
@@ -244,7 +271,7 @@ func (p *Protocol) Start(h *node.Host) {
 
 func (p *Protocol) scheduleEpoch(e wire.Epoch) {
 	at := p.cfg.Timing.EpochStart(e)
-	p.host.After(at-p.host.Now(), func() { p.runEpoch(e) })
+	p.host.AfterBatched(at-p.host.Now(), p.epochFn)
 }
 
 // runEpoch executes one FDS execution for this host.
@@ -267,17 +294,19 @@ func (p *Protocol) runEpoch(e wire.Epoch) {
 	if !p.active {
 		return
 	}
-	p.host.Trace(trace.TypeEpochStart, fmt.Sprintf("epoch=%d ch=%v", e, p.snapshot.CH))
+	if p.host.Tracing() {
+		p.host.Trace(trace.TypeEpochStart, fmt.Sprintf("epoch=%d ch=%v", e, p.snapshot.CH))
+	}
 
 	// The R-1 heartbeat itself is emitted by the cluster protocol (F5).
 
 	// fds.R-2: digest exchange.
 	jitter := sim.Time(p.host.Rand().Int63n(t.JitterSpan()))
-	p.host.After(t.R1End()+jitter, func() { p.sendDigest(e) })
+	p.host.After(t.R1End()+jitter, p.digestFn)
 
 	if p.snapshot.IsCH {
 		// fds.R-3: apply the detection rule and broadcast the update.
-		p.host.After(t.R2End(), func() { p.detectAndAnnounce(e) })
+		p.host.AfterBatched(t.R2End(), p.detectFn)
 		return
 	}
 
@@ -287,7 +316,7 @@ func (p *Protocol) runEpoch(e wire.Epoch) {
 	// predecessors' takeover updates never appear.
 	if rank := p.dchRank(); rank > 0 {
 		delay := t.R3End() + sim.Time(rank-1)*t.Thop
-		p.host.After(delay, func() { p.checkCHFailure(e) })
+		p.host.AfterBatched(delay, p.checkCHFn)
 	}
 
 	// Members that reach the end of fds.R-3 without the health update ask
@@ -295,7 +324,7 @@ func (p *Protocol) runEpoch(e wire.Epoch) {
 	// takeover update still counts as "received".
 	if p.cfg.PeerForwarding {
 		wait := t.R3End() + sim.Time(len(p.snapshot.DCHs))*t.Thop + t.Thop/2
-		p.host.After(wait, func() { p.maybeRequestForward(e) })
+		p.host.AfterBatched(wait, p.reqFwdFn)
 	}
 }
 
@@ -326,14 +355,8 @@ func (p *Protocol) finishEpoch() {
 		p.mDetect.Add(uint64(p.epoch), 1)
 		p.mOrphan.Add(uint64(p.epoch), 1)
 		p.cluster.TakeOver()
-		p.host.Send(&wire.HealthUpdate{
-			From:      p.host.ID(),
-			CH:        ch,
-			Epoch:     p.epoch,
-			NewFailed: []wire.NodeID{ch},
-			AllFailed: p.view.Failed(),
-			Takeover:  true,
-		})
+		p.newFailedScratch = append(p.newFailedScratch[:0], ch)
+		p.host.Send(p.fillUpdate(ch, p.epoch, p.newFailedScratch, true))
 		return
 	}
 	p.mOrphan.Add(uint64(p.epoch), 1)
@@ -397,7 +420,9 @@ func (p *Protocol) sendDigest(e wire.Epoch) {
 	// member list is byte-identical to the map-era output.
 	slices.Sort(heard)
 	p.heardScratch = heard
-	d := &wire.Digest{NID: p.host.ID(), CH: p.snapshot.CH, Epoch: e, Heard: heard}
+	d := &p.digestMsg
+	d.NID, d.CH, d.Epoch, d.Heard = p.host.ID(), p.snapshot.CH, e, heard
+	d.HasReading, d.Reading = false, 0
 	if p.readingSource != nil {
 		if v, ok := p.readingSource(e); ok {
 			d.HasReading = true
@@ -421,7 +446,7 @@ func (p *Protocol) SetReadingSource(src func(wire.Epoch) (float64, bool)) {
 // nor v's digest in fds.R-2, and (2) no received digest reflects a member's
 // awareness of v's heartbeat.
 func (p *Protocol) detectAndAnnounce(e wire.Epoch) {
-	var newFailed []wire.NodeID
+	newFailed := p.newFailedScratch[:0]
 	for _, v := range p.snapshot.Members {
 		if v == p.host.ID() || p.view.IsFailed(v) || p.excused(v, e) {
 			continue
@@ -430,6 +455,7 @@ func (p *Protocol) detectAndAnnounce(e wire.Epoch) {
 			newFailed = append(newFailed, v)
 		}
 	}
+	p.newFailedScratch = newFailed
 	for _, v := range newFailed {
 		p.view.MarkFailed(v, e, p.host.Now())
 		p.host.Trace(trace.TypeDetect, v.String())
@@ -438,20 +464,27 @@ func (p *Protocol) detectAndAnnounce(e wire.Epoch) {
 	if len(newFailed) > 0 {
 		p.cluster.NoteFailed(newFailed)
 	}
-	up := &wire.HealthUpdate{
-		From:      p.host.ID(),
-		CH:        p.host.ID(),
-		Epoch:     e,
-		NewFailed: newFailed,
-		AllFailed: p.view.Failed(),
-		Rescinded: p.pendingRescind,
-	}
+	up := p.fillUpdate(p.host.ID(), e, newFailed, false)
+	up.Rescinded = p.pendingRescind
 	p.pendingRescind = nil
 	// The CH is the update's origin: record it as received so queries and
 	// the inter-cluster forwarder see a uniform "this epoch's update".
 	p.update = up
 	p.updateReceived = true
 	p.host.Send(up)
+}
+
+// fillUpdate rewrites the reusable health-update buffer as this epoch's
+// origination. The caller owns p.updMsg until the next epoch's origination;
+// newFailed is aliased, not copied (its backing scratch has the same
+// one-epoch lifetime).
+func (p *Protocol) fillUpdate(ch wire.NodeID, e wire.Epoch, newFailed []wire.NodeID, takeover bool) *wire.HealthUpdate {
+	up := &p.updMsg
+	up.From, up.CH, up.Epoch, up.Takeover = p.host.ID(), ch, e, takeover
+	up.NewFailed = newFailed
+	up.AllFailed = p.view.AppendFailed(up.AllFailed[:0])
+	up.Rescinded = nil
+	return up
 }
 
 // checkCHFailure applies the CH-failure detection rule on a deputy
@@ -476,14 +509,8 @@ func (p *Protocol) checkCHFailure(e wire.Epoch) {
 	p.cluster.TakeOver()
 	p.snapshot = p.cluster.View()
 	p.updateReceived = true // we originated this epoch's update
-	up := &wire.HealthUpdate{
-		From:      p.host.ID(),
-		CH:        ch,
-		Epoch:     e,
-		NewFailed: []wire.NodeID{ch},
-		AllFailed: p.view.Failed(),
-		Takeover:  true,
-	}
+	p.newFailedScratch = append(p.newFailedScratch[:0], ch)
+	up := p.fillUpdate(ch, e, p.newFailedScratch, true)
 	p.update = up
 	p.host.Send(up)
 }
@@ -495,7 +522,8 @@ func (p *Protocol) maybeRequestForward(e wire.Epoch) {
 		return
 	}
 	p.mFwdReq.Add(uint64(e), 1)
-	p.host.Send(&wire.ForwardRequest{NID: p.host.ID(), Epoch: e})
+	p.fwdReqMsg = wire.ForwardRequest{NID: p.host.ID(), Epoch: e}
+	p.host.Send(&p.fwdReqMsg)
 }
 
 // Handle implements node.Protocol.
@@ -616,7 +644,9 @@ func (p *Protocol) onHeartbeat(m *wire.Heartbeat) {
 			}
 		}
 		p.mRescind.Add(uint64(p.epoch), 1)
-		p.host.Trace(trace.TypeViewUpdate, fmt.Sprintf("rescind %v", m.NID))
+		if p.host.Tracing() {
+			p.host.Trace(trace.TypeViewUpdate, fmt.Sprintf("rescind %v", m.NID))
+		}
 	}
 }
 
@@ -648,7 +678,9 @@ func (p *Protocol) onHealthUpdate(m *wire.HealthUpdate, forwarded bool) {
 		p.conflictSeen++
 		p.mFalse.Add(uint64(m.Epoch), 1)
 		p.cluster.NoteNewCH(p.host.ID(), p.host.ID())
-		p.host.Trace(trace.TypeFalseDetect, fmt.Sprintf("takeover by %v while alive", m.From))
+		if p.host.Tracing() {
+			p.host.Trace(trace.TypeFalseDetect, fmt.Sprintf("takeover by %v while alive", m.From))
+		}
 		return
 	}
 	if mine {
@@ -667,7 +699,8 @@ func (p *Protocol) onHealthUpdate(m *wire.HealthUpdate, forwarded bool) {
 			p.cluster.NoteNewCH(m.CH, m.From)
 			p.snapshot.CH = m.From
 		}
-		local := append(append([]wire.NodeID(nil), m.NewFailed...), m.AllFailed...)
+		local := append(append(p.failedScratch[:0], m.NewFailed...), m.AllFailed...)
+		p.failedScratch = local
 		p.cluster.NoteFailed(local)
 	}
 	// Merge failure knowledge regardless of origin cluster: overheard
@@ -730,26 +763,53 @@ func (p *Protocol) onForwardRequest(m *wire.ForwardRequest) {
 	if t, ok := p.fwdEntry(ri); ok && t.Active() {
 		return
 	}
-	wait := p.forwardWait()
-	upd := *p.update
-	e := p.epoch
-	p.setFwdEntry(ri, p.host.After(wait, func() {
-		// The timer has fired; drop its entry immediately. Leaving it in
-		// place (the pre-fix behavior) pinned one stale Timer handle per
-		// requester served until the next epoch's boundary sweep: the
-		// handle points at a recycled pooled-event slot (only the
-		// generation check keeps the dangling Cancel harmless), and the
-		// table stopped reflecting the pending-forward count. Fired timers
-		// must leave the lifecycle table at once.
-		p.clearFwdEntry(ri)
-		p.mFwdAns.Add(uint64(e), 1)
-		p.host.Trace(trace.TypePeerForward, requester.String())
-		p.host.Send(&wire.ForwardedUpdate{
-			Forwarder: p.host.ID(),
-			Requester: requester,
-			Update:    upd,
-		})
-	}))
+	j := p.takeFwdJob()
+	j.ri, j.e, j.requester, j.upd = ri, p.epoch, requester, *p.update
+	p.setFwdEntry(ri, p.host.AfterArg(p.forwardWait(), fireForwardFn, j))
+}
+
+// fwdJob carries one armed peer-forward through the kernel: the snapshot of
+// the update to send plus the requester bookkeeping. Jobs that fire return to
+// the per-protocol pool; canceled jobs (ack overheard, epoch boundary) are
+// simply dropped with their dead kernel event.
+type fwdJob struct {
+	p         *Protocol
+	ri        uint32
+	e         wire.Epoch
+	requester wire.NodeID
+	upd       wire.HealthUpdate
+}
+
+// fireForwardFn transmits an armed peer-forward. The job's entry leaves the
+// lifecycle table immediately: a fired timer left in place would pin a stale
+// Timer handle per requester served until the next epoch's boundary sweep,
+// and the table would stop reflecting the pending-forward count.
+var fireForwardFn sim.ArgHandler = func(a any) {
+	j := a.(*fwdJob)
+	p := j.p
+	p.clearFwdEntry(j.ri)
+	p.mFwdAns.Add(uint64(j.e), 1)
+	if p.host.Tracing() {
+		p.host.Trace(trace.TypePeerForward, j.requester.String())
+	}
+	p.fwdUpdMsg = wire.ForwardedUpdate{
+		Forwarder: p.host.ID(),
+		Requester: j.requester,
+		Update:    j.upd,
+	}
+	p.host.Send(&p.fwdUpdMsg)
+	j.upd = wire.HealthUpdate{} // drop slice refs before pooling
+	p.fwdJobFree = append(p.fwdJobFree, j)
+}
+
+func (p *Protocol) takeFwdJob() *fwdJob {
+	if n := len(p.fwdJobFree); n > 0 {
+		j := p.fwdJobFree[n-1]
+		p.fwdJobFree[n-1] = nil
+		p.fwdJobFree = p.fwdJobFree[:n-1]
+		return j
+	}
+	return &fwdJob{p: p}
 }
 
 // fwdEntry returns the live forward timer for dense index i, if one was
@@ -866,7 +926,8 @@ func (p *Protocol) onFailureReport(m *wire.FailureReport) {
 	p.applyRescinds(m.Rescinded, m.Epoch)
 	p.view.Forget(p.host.ID()) // we are alive, whatever the report claims
 	if p.active && p.snapshot.IsCH {
-		p.cluster.NoteFailed(append(append([]wire.NodeID(nil), m.NewFailed...), m.AllFailed...))
+		p.failedScratch = append(append(p.failedScratch[:0], m.NewFailed...), m.AllFailed...)
+		p.cluster.NoteFailed(p.failedScratch)
 	}
 }
 

@@ -29,9 +29,10 @@ package intercluster
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"clusterfds/internal/cluster"
+	"clusterfds/internal/dense"
 	"clusterfds/internal/fds"
 	"clusterfds/internal/node"
 	"clusterfds/internal/sim"
@@ -65,24 +66,142 @@ type key struct {
 	seq    uint64
 }
 
-// reportState is everything this host knows about one report.
+// reportState is everything this host knows about one report. The former
+// map-of-maps representation (a senders map and an engaged map per report,
+// reallocated on every first sight) is flattened into interned slices:
+// reports live for the rest of the run, and both sets stay tiny (a handful of
+// transmitters and downstream targets), so linear scans beat hashing and the
+// only allocations left are the once-per-report content copy.
 type reportState struct {
+	p       *Protocol
 	content wire.FailureReport // canonical content (Sender/TargetCH cleared)
-	// senders records every host overheard transmitting this report;
-	// implicit acknowledgments are lookups in this set.
-	senders map[wire.NodeID]bool
+	// senders records every host overheard transmitting this report, as
+	// indices into the protocol's interner; implicit acknowledgments are
+	// lookups in this set.
+	senders []uint32
 	// rebroadcast marks that this host (as CH) already relayed the report.
 	rebroadcast bool
 	retriesLeft int
-	// engaged tracks gateway duty per downstream clusterhead.
-	engaged map[wire.NodeID]*gwDuty
+	// engaged tracks gateway duty per downstream clusterhead, as an
+	// intrusive list threaded through the duty arena (duties are only ever
+	// searched by target, never ordered, so list order is irrelevant).
+	engaged *gwDuty
 }
 
-// gwDuty is a gateway candidate's forwarding state toward one target CH.
+// sender reports whether id has been overheard transmitting this report.
+func (st *reportState) sender(id wire.NodeID) bool {
+	i, ok := st.p.ids.Lookup(id)
+	return ok && slices.Contains(st.senders, i)
+}
+
+func (st *reportState) addSender(id wire.NodeID) {
+	i := st.p.ids.Index(id)
+	if !slices.Contains(st.senders, i) {
+		st.senders = append(st.senders, i)
+	}
+}
+
+// duty returns the forwarding duty toward target, if one exists.
+func (st *reportState) duty(target wire.NodeID) *gwDuty {
+	for d := st.engaged; d != nil; d = d.next {
+		if d.target == target {
+			return d
+		}
+	}
+	return nil
+}
+
+// addDuty records a fresh duty toward target, drawn from the block arena and
+// pushed onto the report's intrusive duty list — no per-duty allocation.
+func (st *reportState) addDuty(target wire.NodeID) *gwDuty {
+	d := st.p.newDuty()
+	d.st, d.target = st, target
+	d.next = st.engaged
+	st.engaged = d
+	return d
+}
+
+// gwDuty kinds: what fireDutyFn does when the duty's timer fires.
+const (
+	dutyBGW    = iota // backup-gateway standby (engageTarget rank > 1)
+	dutyRefwd         // primary's re-forward / release watch (forwardNow)
+	dutyTwoHop        // border node's two-hop relay (engageTwoHop)
+	dutyInward        // member's inward relay toward its own CH
+)
+
+// gwDuty is a gateway candidate's forwarding state toward one target CH. It
+// carries everything its timer callback needs, so arming a duty schedules the
+// shared fireDutyFn with the duty itself as argument — no per-arming closure.
 type gwDuty struct {
+	st        *reportState
+	next      *gwDuty // intrusive link in the report's engaged list
+	target    wire.NodeID
+	n         int // candidate count for the re-forward wait
+	kind      uint8
 	forwarded int
 	timer     sim.Timer
 	done      bool
+}
+
+// fireDutyFn is the one timer callback behind every gateway duty. A plain
+// function declaration (not a package var) so its mutual recursion with
+// forwardNow is not an initialization cycle; the conversion to sim.ArgHandler
+// at the call sites is a static funcval, not an allocation.
+func fireDutyFn(a any) {
+	d := a.(*gwDuty)
+	st := d.st
+	p := st.p
+	switch d.kind {
+	case dutyBGW:
+		if d.done || st.sender(d.target) {
+			d.done = true
+			return
+		}
+		if p.host.Tracing() {
+			p.host.Trace(trace.TypeBGWAssist, fmt.Sprintf("-> %v origin=%v", d.target, st.content.OriginCH))
+		}
+		p.forwardNow(st, d, d.target, d.n)
+	case dutyRefwd:
+		if d.done || st.sender(d.target) {
+			d.done = true
+			return
+		}
+		if d.forwarded >= 2 {
+			return // give up; the next epoch's cumulative report catches up
+		}
+		if p.host.Tracing() {
+			p.host.Trace(trace.TypeRetransmit, fmt.Sprintf("-> %v origin=%v", d.target, st.content.OriginCH))
+		}
+		p.forwardNow(st, d, d.target, d.n)
+	case dutyTwoHop:
+		if d.done || p.targetHasReport(st, d.target) {
+			d.done = true
+			return
+		}
+		d.forwarded++
+		if p.host.Tracing() {
+			p.host.Trace(trace.TypeReportForward, fmt.Sprintf("two-hop -> %v origin=%v seq=%d",
+				d.target, st.content.OriginCH, st.content.Seq))
+		}
+		p.transmit(st, d.target)
+	case dutyInward:
+		if d.done || p.clusterHasReport(st) {
+			d.done = true
+			return
+		}
+		d.forwarded++
+		if p.host.Tracing() {
+			p.host.Trace(trace.TypeReportForward, fmt.Sprintf("inward -> %v origin=%v seq=%d",
+				p.cluster.View().CH, st.content.OriginCH, st.content.Seq))
+		}
+		p.transmit(st, p.cluster.View().CH)
+	}
+}
+
+// chWatchFn is the shared implicit-ack-watch callback (armCHWatch).
+func chWatchFn(a any) {
+	st := a.(*reportState)
+	st.p.checkCHWatch(st)
 }
 
 // Protocol is the per-host inter-cluster forwarder.
@@ -95,12 +214,114 @@ type Protocol struct {
 	reports map[key]*reportState
 	epoch   wire.Epoch
 
+	// ids interns every NodeID appearing in sender sets and the adjacency
+	// bitset onto dense indices, shared across all report states.
+	ids dense.Interner
+
 	// knownNeighbors tracks, on a clusterhead, which adjacent clusters
 	// have been seen before: a NEW adjacency (clusters forming or
 	// re-forming next door) triggers a catch-up report carrying the
 	// cumulative failed set, so knowledge holes left by topology churn
-	// heal instead of waiting for the next failure.
-	knownNeighbors map[wire.NodeID]bool
+	// heal instead of waiting for the next failure. Dense bitset over ids.
+	knownNeighbors dense.Bitset
+
+	// Persistent epoch callbacks, the reusable transmit buffer (safe because
+	// every transport encodes during Send), pooled deferred-engage jobs, and
+	// reused query scratch.
+	epochFn, originFn func()
+	txMsg             wire.FailureReport
+	updJobFree        []*updJob
+	nbScratch         []wire.NodeID
+	candScratch       []wire.NodeID
+	bridgedScratch    []wire.NodeID
+	borderScratch     []wire.NodeID
+	oneTarget         [1]wire.NodeID
+
+	// Block arenas for once-per-report state. Reports accrete for the rest of
+	// the run (they are never freed), so these are bump arenas, not pools:
+	// fresh reportStates and gwDuties come from 32/64-element blocks, and the
+	// deep copies of report content are carved as capped sub-slices of shared
+	// backing chunks. One allocation per block instead of several per report.
+	stateFree []*reportState
+	dutyFree  []*gwDuty
+	idArena   []wire.NodeID
+	resArena  []wire.Rescission
+	sndArena  []uint32
+}
+
+// newState hands out a zeroed reportState from the block arena.
+func (p *Protocol) newState() *reportState {
+	if len(p.stateFree) == 0 {
+		blk := make([]reportState, 32)
+		for i := range blk {
+			p.stateFree = append(p.stateFree, &blk[i])
+		}
+	}
+	n := len(p.stateFree)
+	st := p.stateFree[n-1]
+	p.stateFree = p.stateFree[:n-1]
+	return st
+}
+
+// newDuty hands out a zeroed gwDuty from the block arena.
+func (p *Protocol) newDuty() *gwDuty {
+	if len(p.dutyFree) == 0 {
+		blk := make([]gwDuty, 64)
+		for i := range blk {
+			p.dutyFree = append(p.dutyFree, &blk[i])
+		}
+	}
+	n := len(p.dutyFree)
+	d := p.dutyFree[n-1]
+	p.dutyFree = p.dutyFree[:n-1]
+	return d
+}
+
+// carveIDs copies src into the NodeID arena and returns a capped sub-slice;
+// appends to the result never touch later carves.
+func (p *Protocol) carveIDs(src []wire.NodeID) []wire.NodeID {
+	if len(src) == 0 {
+		return nil
+	}
+	if cap(p.idArena)-len(p.idArena) < len(src) {
+		c := 512
+		if len(src) > c {
+			c = len(src)
+		}
+		p.idArena = make([]wire.NodeID, 0, c)
+	}
+	n := len(p.idArena)
+	p.idArena = append(p.idArena, src...)
+	return p.idArena[n:len(p.idArena):len(p.idArena)]
+}
+
+// carveRes is carveIDs for rescission lists.
+func (p *Protocol) carveRes(src []wire.Rescission) []wire.Rescission {
+	if len(src) == 0 {
+		return nil
+	}
+	if cap(p.resArena)-len(p.resArena) < len(src) {
+		c := 128
+		if len(src) > c {
+			c = len(src)
+		}
+		p.resArena = make([]wire.Rescission, 0, c)
+	}
+	n := len(p.resArena)
+	p.resArena = append(p.resArena, src...)
+	return p.resArena[n:len(p.resArena):len(p.resArena)]
+}
+
+// carveSenders reserves a capped 16-slot sender set in the arena; the rare
+// report overheard from more transmitters spills to a heap reallocation.
+func (p *Protocol) carveSenders() []uint32 {
+	const slot = 16
+	if cap(p.sndArena)-len(p.sndArena) < slot {
+		p.sndArena = make([]uint32, 0, 512)
+	}
+	n := len(p.sndArena)
+	p.sndArena = p.sndArena[:n+slot]
+	return p.sndArena[n : n : n+slot]
 }
 
 // New returns a forwarder bound to the co-resident cluster and FDS
@@ -116,17 +337,18 @@ func New(cfg Config, cl *cluster.Protocol, f *fds.Protocol) *Protocol {
 		cfg.CHRetries = 0
 	}
 	return &Protocol{
-		cfg:            cfg,
-		cluster:        cl,
-		fds:            f,
-		reports:        make(map[key]*reportState),
-		knownNeighbors: make(map[wire.NodeID]bool),
+		cfg:     cfg,
+		cluster: cl,
+		fds:     f,
+		reports: make(map[key]*reportState),
 	}
 }
 
 // Start implements node.Protocol.
 func (p *Protocol) Start(h *node.Host) {
 	p.host = h
+	p.epochFn = func() { p.runEpoch(p.cfg.Timing.EpochOf(p.host.Now())) }
+	p.originFn = func() { p.maybeOriginate(p.epoch) }
 	e := p.cfg.Timing.EpochOf(h.Now())
 	if h.Now() > p.cfg.Timing.EpochStart(e) {
 		e++
@@ -136,7 +358,7 @@ func (p *Protocol) Start(h *node.Host) {
 
 func (p *Protocol) scheduleEpoch(e wire.Epoch) {
 	at := p.cfg.Timing.EpochStart(e)
-	p.host.After(at-p.host.Now(), func() { p.runEpoch(e) })
+	p.host.AfterBatched(at-p.host.Now(), p.epochFn)
 }
 
 // runEpoch arms the per-epoch origination check: shortly after the end of
@@ -146,7 +368,7 @@ func (p *Protocol) runEpoch(e wire.Epoch) {
 	p.epoch = e
 	p.scheduleEpoch(e + 1)
 	t := p.cfg.Timing
-	p.host.After(t.R3End()+t.Thop/4, func() { p.maybeOriginate(e) })
+	p.host.AfterBatched(t.R3End()+t.Thop/4, p.originFn)
 }
 
 // maybeOriginate runs on every host each epoch; a clusterhead acts when its
@@ -158,9 +380,10 @@ func (p *Protocol) maybeOriginate(e wire.Epoch) {
 		return
 	}
 	newNeighbor := false
-	for _, nb := range p.cluster.NeighborCHs() {
-		if !p.knownNeighbors[nb] {
-			p.knownNeighbors[nb] = true
+	p.nbScratch = p.cluster.AppendNeighborCHs(p.nbScratch[:0])
+	for _, nb := range p.nbScratch {
+		if i := p.ids.Index(nb); !p.knownNeighbors.Get(i) {
+			p.knownNeighbors.Set(i)
 			newNeighbor = true
 		}
 	}
@@ -198,7 +421,9 @@ func (p *Protocol) maybeOriginate(e wire.Epoch) {
 	}
 	st.rebroadcast = true
 	st.retriesLeft = p.cfg.CHRetries
-	p.host.Trace(trace.TypeReportForward, fmt.Sprintf("catch-up seq=%d failed=%d", e, len(failed)))
+	if p.host.Tracing() {
+		p.host.Trace(trace.TypeReportForward, fmt.Sprintf("catch-up seq=%d failed=%d", e, len(failed)))
+	}
 	p.transmit(st, wire.NoNode)
 	p.armCHWatch(st)
 }
@@ -227,25 +452,24 @@ func (p *Protocol) getState(k key, content wire.FailureReport) *reportState {
 	if !ok {
 		content.Sender = wire.NoNode
 		content.TargetCH = wire.NoNode
-		content.NewFailed = append([]wire.NodeID(nil), content.NewFailed...)
-		content.AllFailed = append([]wire.NodeID(nil), content.AllFailed...)
-		content.Rescinded = append([]wire.Rescission(nil), content.Rescinded...)
-		st = &reportState{
-			content: content,
-			senders: make(map[wire.NodeID]bool),
-			engaged: make(map[wire.NodeID]*gwDuty),
-		}
+		content.NewFailed = p.carveIDs(content.NewFailed)
+		content.AllFailed = p.carveIDs(content.AllFailed)
+		content.Rescinded = p.carveRes(content.Rescinded)
+		st = p.newState()
+		st.p, st.content, st.senders = p, content, p.carveSenders()
 		p.reports[k] = st
 	}
 	return st
 }
 
-// transmit broadcasts the report stamped with this host as sender.
+// transmit broadcasts the report stamped with this host as sender. The
+// reusable buffer aliases the report's canonical slices; both are safe
+// because Send encodes before returning.
 func (p *Protocol) transmit(st *reportState, target wire.NodeID) {
-	r := st.content // copy
-	r.Sender = p.host.ID()
-	r.TargetCH = target
-	p.host.Send(&r)
+	p.txMsg = st.content
+	p.txMsg.Sender = p.host.ID()
+	p.txMsg.TargetCH = target
+	p.host.Send(&p.txMsg)
 }
 
 // --- clusterhead side --------------------------------------------------------
@@ -259,7 +483,9 @@ func (p *Protocol) relay(st *reportState) {
 	}
 	st.rebroadcast = true
 	st.retriesLeft = p.cfg.CHRetries
-	p.host.Trace(trace.TypeReportForward, fmt.Sprintf("relay origin=%v seq=%d", st.content.OriginCH, st.content.Seq))
+	if p.host.Tracing() {
+		p.host.Trace(trace.TypeReportForward, fmt.Sprintf("relay origin=%v seq=%d", st.content.OriginCH, st.content.Seq))
+	}
 	p.transmit(st, wire.NoNode)
 	p.armCHWatch(st)
 }
@@ -271,7 +497,7 @@ func (p *Protocol) armCHWatch(st *reportState) {
 	if !p.cfg.ImplicitAcks {
 		return
 	}
-	p.host.After(2*p.cfg.Timing.Thop, func() { p.checkCHWatch(st) })
+	p.host.AfterArg(2*p.cfg.Timing.Thop, chWatchFn, st)
 }
 
 func (p *Protocol) checkCHWatch(st *reportState) {
@@ -283,7 +509,9 @@ func (p *Protocol) checkCHWatch(st *reportState) {
 		return
 	}
 	st.retriesLeft--
-	p.host.Trace(trace.TypeRetransmit, fmt.Sprintf("origin=%v seq=%d", st.content.OriginCH, st.content.Seq))
+	if p.host.Tracing() {
+		p.host.Trace(trace.TypeRetransmit, fmt.Sprintf("origin=%v seq=%d", st.content.OriginCH, st.content.Seq))
+	}
 	p.transmit(st, wire.NoNode)
 	p.armCHWatch(st)
 }
@@ -292,13 +520,15 @@ func (p *Protocol) checkCHWatch(st *reportState) {
 // an implicit acknowledgment has been overheard.
 func (p *Protocol) neighborsCovered(st *reportState) bool {
 	me := p.host.ID()
-	for _, nb := range p.cluster.NeighborCHs() {
-		if nb == st.content.OriginCH || st.senders[nb] {
+	p.nbScratch = p.cluster.AppendNeighborCHs(p.nbScratch[:0])
+	for _, nb := range p.nbScratch {
+		if nb == st.content.OriginCH || st.sender(nb) {
 			continue // the origin already has it; a transmitting CH has it
 		}
 		covered := false
-		for _, cand := range p.cluster.GatewayCandidates(me, nb) {
-			if st.senders[cand] {
+		p.candScratch = p.cluster.AppendGatewayCandidates(p.candScratch[:0], me, nb)
+		for _, cand := range p.candScratch {
+			if st.sender(cand) {
 				covered = true
 				break
 			}
@@ -315,8 +545,9 @@ func (p *Protocol) neighborsCovered(st *reportState) bool {
 // engage puts this gateway candidate on duty for forwarding the report from
 // the cluster of viaCH toward every other cluster it bridges with viaCH.
 func (p *Protocol) engage(st *reportState, viaCH wire.NodeID) {
-	for _, target := range p.bridgedWith(viaCH) {
-		if target == st.content.OriginCH || st.senders[target] {
+	p.bridgedScratch = p.appendBridgedWith(p.bridgedScratch[:0], viaCH)
+	for _, target := range p.bridgedScratch {
+		if target == st.content.OriginCH || st.sender(target) {
 			continue // downstream already has it
 		}
 		p.engageTarget(st, viaCH, target)
@@ -329,8 +560,9 @@ func (p *Protocol) engage(st *reportState, viaCH wire.NodeID) {
 	if viaCH != v.CH {
 		return
 	}
-	for _, target := range p.cluster.BorderClusters() {
-		if target == st.content.OriginCH || st.senders[target] {
+	p.borderScratch = p.cluster.AppendBorderClusters(p.borderScratch[:0])
+	for _, target := range p.borderScratch {
+		if target == st.content.OriginCH || st.sender(target) {
 			continue
 		}
 		p.engageTwoHop(st, target)
@@ -341,36 +573,27 @@ func (p *Protocol) engage(st *reportState, viaCH wire.NodeID) {
 // directly: wait out the direct-gateway window, then transmit once unless a
 // member of the target cluster has evidently already received the report.
 func (p *Protocol) engageTwoHop(st *reportState, target wire.NodeID) {
-	duty, ok := st.engaged[target]
-	if ok && (duty.done || duty.timer.Active() || duty.forwarded > 0) {
+	duty := st.duty(target)
+	if duty != nil && (duty.done || duty.timer.Active() || duty.forwarded > 0) {
 		return
 	}
-	if !ok {
-		duty = &gwDuty{}
-		st.engaged[target] = duty
+	if duty == nil {
+		duty = st.addDuty(target)
 	}
 	// NID-keyed jitter desynchronizes concurrent border forwarders.
 	jitter := sim.Time(uint64(p.host.ID()) * uint64(p.cfg.Timing.Thop) / 7 % uint64(p.cfg.Timing.Thop))
-	duty.timer = p.host.After(2*p.cfg.Timing.Thop+jitter, func() {
-		if duty.done || p.targetHasReport(st, target) {
-			duty.done = true
-			return
-		}
-		duty.forwarded++
-		p.host.Trace(trace.TypeReportForward, fmt.Sprintf("two-hop -> %v origin=%v seq=%d",
-			target, st.content.OriginCH, st.content.Seq))
-		p.transmit(st, target)
-	})
+	duty.kind = dutyTwoHop
+	duty.timer = p.host.AfterArg(2*p.cfg.Timing.Thop+jitter, fireDutyFn, duty)
 }
 
 // targetHasReport reports whether the target clusterhead, or any overheard
 // member of its cluster, has evidently transmitted the report already.
 func (p *Protocol) targetHasReport(st *reportState, target wire.NodeID) bool {
-	if st.senders[target] {
+	if st.sender(target) {
 		return true
 	}
-	for sender := range st.senders {
-		if p.cluster.IsBorderPeer(target, sender) {
+	for _, si := range st.senders {
+		if p.cluster.IsBorderPeer(target, p.ids.NodeID(si)) {
 			return true
 		}
 	}
@@ -389,78 +612,68 @@ func (p *Protocol) maybeRelayInward(st *reportState, from wire.NodeID) {
 	if v.IsMember(from) || from == v.CH {
 		return // an insider sent it; normal paths apply
 	}
-	duty, ok := st.engaged[v.CH]
-	if ok && (duty.done || duty.timer.Active() || duty.forwarded > 0) {
+	duty := st.duty(v.CH)
+	if duty != nil && (duty.done || duty.timer.Active() || duty.forwarded > 0) {
 		return
 	}
-	if !ok {
-		duty = &gwDuty{}
-		st.engaged[v.CH] = duty
+	if duty == nil {
+		duty = st.addDuty(v.CH)
 	}
 	// Spread relays over two round times so earlier relayers' (or the own
 	// CH's) transmissions suppress the rest.
 	jitter := sim.Time(uint64(p.host.ID()) * uint64(p.cfg.Timing.Thop) / 5 % uint64(2*p.cfg.Timing.Thop))
-	duty.timer = p.host.After(jitter, func() {
-		if duty.done || p.clusterHasReport(st) {
-			duty.done = true
-			return
-		}
-		duty.forwarded++
-		p.host.Trace(trace.TypeReportForward, fmt.Sprintf("inward -> %v origin=%v seq=%d",
-			p.cluster.View().CH, st.content.OriginCH, st.content.Seq))
-		p.transmit(st, p.cluster.View().CH)
-	})
+	duty.kind = dutyInward
+	duty.timer = p.host.AfterArg(jitter, fireDutyFn, duty)
 }
 
 // clusterHasReport reports whether this host's own CH or any fellow member
 // has been overheard transmitting the report.
 func (p *Protocol) clusterHasReport(st *reportState) bool {
 	v := p.cluster.View()
-	if st.senders[v.CH] {
+	if st.sender(v.CH) {
 		return true
 	}
-	for sender := range st.senders {
-		if sender != p.host.ID() && v.IsMember(sender) {
+	for _, si := range st.senders {
+		if sender := p.ids.NodeID(si); sender != p.host.ID() && v.IsMember(sender) {
 			return true
 		}
 	}
 	return false
 }
 
-// bridgedWith returns the clusterheads this host bridges to from viaCH
+// appendBridgedWith appends the clusterheads this host bridges to from viaCH
 // (i.e. the partners of every candidate pair involving viaCH that this host
-// belongs to), sorted for determinism.
-func (p *Protocol) bridgedWith(viaCH wire.NodeID) []wire.NodeID {
+// belongs to) to dst, sorted for determinism.
+func (p *Protocol) appendBridgedWith(dst []wire.NodeID, viaCH wire.NodeID) []wire.NodeID {
 	v := p.cluster.View()
 	if !v.Marked {
-		return nil
+		return dst
 	}
-	var chs []wire.NodeID
+	start := len(dst)
 	switch {
 	case v.CH == viaCH:
-		chs = v.OtherCHs
+		dst = append(dst, v.OtherCHs...)
 	default:
 		// Trigger came from a foreign CH we can hear; we bridge it to our
 		// own cluster (and only there — feature F3).
 		for _, oc := range v.OtherCHs {
 			if oc == viaCH {
-				chs = []wire.NodeID{v.CH}
+				dst = append(dst, v.CH)
 				break
 			}
 		}
 	}
-	sort.Slice(chs, func(i, j int) bool { return chs[i] < chs[j] })
-	return chs
+	slices.Sort(dst[start:])
+	return dst
 }
 
 func (p *Protocol) engageTarget(st *reportState, viaCH, target wire.NodeID) {
-	duty, ok := st.engaged[target]
-	if ok && (duty.done || duty.timer.Active() || duty.forwarded > 0) {
+	duty := st.duty(target)
+	if duty != nil && (duty.done || duty.timer.Active() || duty.forwarded > 0) {
 		return
 	}
-	if !ok {
-		duty = &gwDuty{}
-		st.engaged[target] = duty
+	if duty == nil {
+		duty = st.addDuty(target)
 	}
 	rank, n, isCand := p.cluster.GWRank(viaCH, target)
 	if !isCand {
@@ -475,15 +688,9 @@ func (p *Protocol) engageTarget(st *reportState, viaCH, target wire.NodeID) {
 	case p.cfg.BGWAssist:
 		// Backup gateway (paper rank k-1): arm the staggered standby
 		// timer; only act if nobody got the report through first.
-		wait := sim.Time(rank-1) * hop
-		duty.timer = p.host.After(wait, func() {
-			if duty.done || st.senders[target] {
-				duty.done = true
-				return
-			}
-			p.host.Trace(trace.TypeBGWAssist, fmt.Sprintf("-> %v origin=%v", target, st.content.OriginCH))
-			p.forwardNow(st, duty, target, n)
-		})
+		duty.kind = dutyBGW
+		duty.n = n
+		duty.timer = p.host.AfterArg(sim.Time(rank-1)*hop, fireDutyFn, duty)
 	}
 }
 
@@ -491,24 +698,17 @@ func (p *Protocol) engageTarget(st *reportState, viaCH, target wire.NodeID) {
 // the (n+1)·2·Thop re-forward / release timer.
 func (p *Protocol) forwardNow(st *reportState, duty *gwDuty, target wire.NodeID, n int) {
 	duty.forwarded++
-	p.host.Trace(trace.TypeReportForward, fmt.Sprintf("-> %v origin=%v seq=%d", target, st.content.OriginCH, st.content.Seq))
+	if p.host.Tracing() {
+		p.host.Trace(trace.TypeReportForward, fmt.Sprintf("-> %v origin=%v seq=%d", target, st.content.OriginCH, st.content.Seq))
+	}
 	p.transmit(st, target)
 	if !p.cfg.ImplicitAcks {
 		duty.done = true
 		return
 	}
-	wait := sim.Time(n+1) * 2 * p.cfg.Timing.Thop
-	duty.timer = p.host.After(wait, func() {
-		if duty.done || st.senders[target] {
-			duty.done = true
-			return
-		}
-		if duty.forwarded >= 2 {
-			return // give up; the next epoch's cumulative report catches up
-		}
-		p.host.Trace(trace.TypeRetransmit, fmt.Sprintf("-> %v origin=%v", target, st.content.OriginCH))
-		p.forwardNow(st, duty, target, n)
-	})
+	duty.kind = dutyRefwd
+	duty.n = n
+	duty.timer = p.host.AfterArg(sim.Time(n+1)*2*p.cfg.Timing.Thop, fireDutyFn, duty)
 }
 
 // --- message handling ---------------------------------------------------------
@@ -528,9 +728,9 @@ func (p *Protocol) Handle(h *node.Host, m wire.Message, from wire.NodeID) {
 // gateway-duty trigger (when the transmitter is a CH this host bridges).
 func (p *Protocol) onReport(m *wire.FailureReport) {
 	st := p.getState(key{origin: m.OriginCH, seq: m.Seq}, *m)
-	st.senders[m.Sender] = true
+	st.addSender(m.Sender)
 	// Release any duty toward a CH that evidently has the report.
-	if duty, ok := st.engaged[m.Sender]; ok {
+	if duty := st.duty(m.Sender); duty != nil {
 		duty.done = true
 		duty.timer.Cancel()
 	}
@@ -538,7 +738,9 @@ func (p *Protocol) onReport(m *wire.FailureReport) {
 	v := p.cluster.View()
 	if v.IsCH {
 		if m.TargetCH == p.host.ID() || m.TargetCH == wire.NoNode {
-			p.host.Trace(trace.TypeReportDeliver, fmt.Sprintf("origin=%v seq=%d", m.OriginCH, m.Seq))
+			if p.host.Tracing() {
+				p.host.Trace(trace.TypeReportDeliver, fmt.Sprintf("origin=%v seq=%d", m.OriginCH, m.Seq))
+			}
 			p.relay(st)
 		}
 		return
@@ -563,7 +765,7 @@ func (p *Protocol) onUpdate(m *wire.HealthUpdate) {
 		return
 	}
 	st := p.getState(key{origin: m.From, seq: uint64(m.Epoch)}, reportFromUpdate(m))
-	st.senders[m.From] = true
+	st.addSender(m.From)
 	v := p.cluster.View()
 	if v.IsCH {
 		// A foreign cluster's update overheard directly by this CH: the
@@ -577,28 +779,55 @@ func (p *Protocol) onUpdate(m *wire.HealthUpdate) {
 	// the paper; the update may arrive during R-3, so delay until then.
 	tEnd := p.cfg.Timing.EpochStart(m.Epoch) + p.cfg.Timing.R3End() + p.cfg.Timing.Thop/8
 	delay := tEnd - p.host.Now()
-	via := m.From
-	if m.Takeover {
+	j := p.takeUpdJob()
+	j.st, j.via, j.takeover, j.oldCH = st, m.From, m.Takeover, m.CH
+	p.host.AfterArg(delay, fireUpdJobFn, j)
+}
+
+// updJob carries one deferred gateway engagement (onUpdate's end-of-R-3
+// delay) through the kernel. Jobs return to the per-protocol pool on fire.
+type updJob struct {
+	p        *Protocol
+	st       *reportState
+	via      wire.NodeID
+	oldCH    wire.NodeID
+	takeover bool
+}
+
+func fireUpdJobFn(a any) {
+	j := a.(*updJob)
+	p, st := j.p, j.st
+	if j.takeover {
 		// Candidate pairs are still keyed by the failed CH until gateways
 		// re-register; rank lookups must use the old CH while the targets
 		// come from this gateway's current bridging set.
-		oldCH := m.CH
-		p.host.After(delay, func() {
-			cv := p.cluster.View()
-			targets := cv.OtherCHs
-			if cv.CH != via { // we bridge the takeover cluster from outside
-				targets = []wire.NodeID{cv.CH}
+		cv := p.cluster.View()
+		targets := cv.OtherCHs
+		if cv.CH != j.via { // we bridge the takeover cluster from outside
+			p.oneTarget[0] = cv.CH
+			targets = p.oneTarget[:]
+		}
+		for _, target := range targets {
+			if target == st.content.OriginCH || st.sender(target) {
+				continue
 			}
-			for _, target := range targets {
-				if target == st.content.OriginCH || st.senders[target] {
-					continue
-				}
-				p.engageTarget(st, oldCH, target)
-			}
-		})
-		return
+			p.engageTarget(st, j.oldCH, target)
+		}
+	} else {
+		p.engage(st, j.via)
 	}
-	p.host.After(delay, func() { p.engage(st, via) })
+	j.st = nil
+	p.updJobFree = append(p.updJobFree, j)
+}
+
+func (p *Protocol) takeUpdJob() *updJob {
+	if n := len(p.updJobFree); n > 0 {
+		j := p.updJobFree[n-1]
+		p.updJobFree[n-1] = nil
+		p.updJobFree = p.updJobFree[:n-1]
+		return j
+	}
+	return &updJob{p: p}
 }
 
 // --- queries -------------------------------------------------------------------

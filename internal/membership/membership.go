@@ -7,6 +7,7 @@
 package membership
 
 import (
+	"slices"
 	"sort"
 
 	"clusterfds/internal/sim"
@@ -86,12 +87,19 @@ func (v *View) Len() int { return len(v.failed) }
 
 // Failed returns the believed-failed nodes in NID order.
 func (v *View) Failed() []wire.NodeID {
-	out := make([]wire.NodeID, 0, len(v.failed))
+	return v.AppendFailed(make([]wire.NodeID, 0, len(v.failed)))
+}
+
+// AppendFailed appends the believed-failed nodes to dst in NID order; only
+// the appended tail is sorted. Hot paths pass a reused scratch slice so the
+// per-epoch health update carries the cumulative set without reallocating it.
+func (v *View) AppendFailed(dst []wire.NodeID) []wire.NodeID {
+	start := len(dst)
 	for n := range v.failed {
-		out = append(out, n)
+		dst = append(dst, n)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	slices.Sort(dst[start:])
+	return dst
 }
 
 // Records returns all failure records in NID order.

@@ -59,6 +59,59 @@ type Host struct {
 	// current wake deadline (later SleepRadio calls move it).
 	radioOff bool
 	wakeAt   sim.Time
+
+	// Optional clock extensions, probed once at construction. When present,
+	// After/AfterArg run through pooled timer records and one shared
+	// ArgHandler instead of allocating a crash-guard closure per timer, and
+	// AfterBatched coalesces same-instant phase events.
+	argClock   transport.ArgClock
+	batchClock transport.BatchClock
+	timerFree  []*timerRec
+	tracing    bool
+}
+
+// timerRec carries one pending host timer through the kernel: the host (for
+// the crash guard), plus either a plain callback or an (ArgHandler, arg)
+// pair. Records are pooled per host; a canceled timer's record is simply
+// dropped when the dead event is collected.
+type timerRec struct {
+	h   *Host
+	fn  func()
+	afn sim.ArgHandler
+	arg any
+}
+
+// fireTimerFn is the one ArgHandler behind every pooled host timer.
+var fireTimerFn sim.ArgHandler = func(a any) {
+	rec := a.(*timerRec)
+	h, fn, afn, arg := rec.h, rec.fn, rec.afn, rec.arg
+	rec.fn, rec.afn, rec.arg = nil, nil, nil
+	h.timerFree = append(h.timerFree, rec)
+	if h.crashed {
+		return
+	}
+	if fn != nil {
+		fn()
+	} else {
+		afn(arg)
+	}
+}
+
+func (h *Host) takeTimerRec() *timerRec {
+	if len(h.timerFree) == 0 {
+		// Grow by a block: per-host pending-timer counts rise with report
+		// traffic, so one-at-a-time growth would allocate every epoch.
+		blk := make([]timerRec, 16)
+		for i := range blk {
+			blk[i].h = h
+			h.timerFree = append(h.timerFree, &blk[i])
+		}
+	}
+	n := len(h.timerFree)
+	rec := h.timerFree[n-1]
+	h.timerFree[n-1] = nil
+	h.timerFree = h.timerFree[:n-1]
+	return rec
 }
 
 // Option customizes a Host.
@@ -85,6 +138,10 @@ func New(rt transport.Runtime, net transport.Transport, id wire.NodeID, pos geo.
 	for _, opt := range opts {
 		opt(h)
 	}
+	h.argClock, _ = rt.(transport.ArgClock)
+	h.batchClock, _ = rt.(transport.BatchClock)
+	_, nop := h.sink.(trace.Nop)
+	h.tracing = !nop
 	net.Attach(h)
 	return h
 }
@@ -177,13 +234,51 @@ func (h *Host) SleepRadio(until sim.Time) {
 func (h *Host) Asleep() bool { return h.radioOff }
 
 // After schedules fn on the kernel; the callback is suppressed if the host
-// has crashed by the time it fires (a dead process runs no code).
+// has crashed by the time it fires (a dead process runs no code). Pass a
+// long-lived fn (a stored per-protocol func, not a fresh closure) to keep the
+// call allocation-free on kernels with the ArgClock extension.
 func (h *Host) After(d sim.Time, fn func()) sim.Timer {
+	if h.argClock != nil {
+		rec := h.takeTimerRec()
+		rec.fn = fn
+		return h.argClock.ScheduleArg(d, fireTimerFn, rec)
+	}
 	return h.clock.Schedule(d, func() {
 		if !h.crashed {
 			fn()
 		}
 	})
+}
+
+// AfterArg schedules fn(arg) with After's crash-guard semantics. It lets
+// protocols thread pooled per-event records through one long-lived handler,
+// the same trick sim.Kernel.ScheduleArg enables one layer down.
+func (h *Host) AfterArg(d sim.Time, fn sim.ArgHandler, arg any) sim.Timer {
+	if h.argClock != nil {
+		rec := h.takeTimerRec()
+		rec.afn, rec.arg = fn, arg
+		return h.argClock.ScheduleArg(d, fireTimerFn, rec)
+	}
+	return h.clock.Schedule(d, func() {
+		if !h.crashed {
+			fn(arg)
+		}
+	})
+}
+
+// AfterBatched schedules fn like After but coalesces all callbacks landing
+// on the same instant — across every host on the kernel — into one kernel
+// event (see sim.Kernel.AtBatched). There is no cancellation handle, so it
+// suits the unconditional phase events of the epoch schedule: boundaries and
+// round ends, which every host hits at identical offsets.
+func (h *Host) AfterBatched(d sim.Time, fn func()) {
+	if h.batchClock != nil {
+		rec := h.takeTimerRec()
+		rec.fn = fn
+		h.batchClock.AtBatched(h.clock.Now()+d, fireTimerFn, rec)
+		return
+	}
+	h.After(d, fn)
 }
 
 // Now returns the current virtual time.
@@ -202,6 +297,11 @@ func (h *Host) Neighbors() []wire.NodeID { return h.net.Neighbors(h.pos, h.id) }
 func (h *Host) Trace(t trace.EventType, detail string) {
 	h.sink.Emit(trace.Event{At: h.clock.Now(), Type: t, Node: uint32(h.id), Detail: detail})
 }
+
+// Tracing reports whether a real trace sink is attached. Hot paths consult
+// it before building Sprintf detail strings, so benchmark and headless runs
+// (Nop sink) pay nothing for tracing they discard.
+func (h *Host) Tracing() bool { return h.tracing }
 
 // MoveTo repositions the host and informs the transport. Provided for
 // migration extensions; the core experiments keep hosts stationary.

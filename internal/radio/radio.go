@@ -455,14 +455,20 @@ func (m *Medium) takeTxBuf() *txBuf {
 	return &txBuf{}
 }
 
-// takeDelivery pops a pooled delivery record or makes one.
+// takeDelivery pops a pooled delivery record. The pool grows by blocks of 64
+// records in one allocation so a rising in-flight high-water mark (traffic
+// grows as reports accrete) does not cost one allocation per delivery.
 func (m *Medium) takeDelivery() *delivery {
-	if n := len(m.delFree); n > 0 {
-		d := m.delFree[n-1]
-		m.delFree = m.delFree[:n-1]
-		return d
+	if len(m.delFree) == 0 {
+		blk := make([]delivery, 64)
+		for i := range blk {
+			m.delFree = append(m.delFree, &blk[i])
+		}
 	}
-	return &delivery{}
+	n := len(m.delFree)
+	d := m.delFree[n-1]
+	m.delFree = m.delFree[:n-1]
+	return d
 }
 
 // chargeTx debits transmission energy.

@@ -1,0 +1,74 @@
+package scenario
+
+import (
+	"fmt"
+
+	"clusterfds/internal/par"
+	"clusterfds/internal/sim"
+	"clusterfds/internal/wire"
+)
+
+// Parallel is a built intra-replica parallel scenario: the production
+// cluster/fds/intercluster stack on internal/par's strip-partitioned worker
+// engine. It exposes the subset of World's surface the parallel engine
+// supports — static topology, cluster stack, no monitor — plus the engine's
+// trace-hash fingerprint, which is bit-identical at every EpochWorkers value.
+type Parallel struct {
+	cfg Config
+	eng *par.Engine
+}
+
+// BuildParallel constructs the parallel replica described by cfg. Only the
+// cluster stack with a static field is supported: mobility, sleep,
+// aggregation, and the flat baselines stay on the serial Build path.
+func BuildParallel(cfg Config) *Parallel {
+	cfg = cfg.withDefaults()
+	if cfg.Stack != StackClusterFDS {
+		panic(fmt.Sprintf("scenario: BuildParallel supports only the cluster stack, not %v", cfg.Stack))
+	}
+	if cfg.Mobility != nil || cfg.Sleep != nil || cfg.AggregateSampler != nil {
+		panic("scenario: BuildParallel does not support mobility, sleep, or aggregation")
+	}
+	workers := cfg.EpochWorkers
+	if workers < 1 {
+		workers = 1
+	}
+	eng := par.Build(par.Config{
+		Seed:         cfg.Seed,
+		Nodes:        cfg.Nodes,
+		FieldSide:    cfg.FieldSide,
+		LossProb:     cfg.LossProb,
+		Timing:       cfg.Timing,
+		Workers:      workers,
+		CollectTrace: true,
+	})
+	return &Parallel{cfg: cfg, eng: eng}
+}
+
+// Engine returns the underlying strip engine.
+func (p *Parallel) Engine() *par.Engine { return p.eng }
+
+// RunEpochs advances the replica through n heartbeat intervals.
+func (p *Parallel) RunEpochs(n int) { p.eng.RunEpochs(n) }
+
+// Now returns the last barrier time.
+func (p *Parallel) Now() sim.Time { return p.eng.Now() }
+
+// CrashRandomAt schedules count crashes at the given absolute time, chosen
+// deterministically from the seed (sorted NIDs returned).
+func (p *Parallel) CrashRandomAt(at sim.Time, count int) []wire.NodeID {
+	return p.eng.CrashRandomAt(at, count)
+}
+
+// Completeness reports how many operational hosts suspect the crashed
+// subject, and how many operational hosts there are.
+func (p *Parallel) Completeness(subject wire.NodeID) (aware, operational int) {
+	return p.eng.Completeness(subject)
+}
+
+// TraceHash returns the replica's deterministic fingerprint: per-strip trace
+// streams plus every host's final failure knowledge.
+func (p *Parallel) TraceHash() string { return p.eng.TraceHash() }
+
+// Config returns the (defaulted) configuration.
+func (p *Parallel) Config() Config { return p.cfg }

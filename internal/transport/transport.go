@@ -68,11 +68,33 @@ type Runtime interface {
 	Rand() *rand.Rand
 }
 
-// Compile-time checks: the simulation kernel is a Runtime, and *rand.Rand
-// is a Rand.
+// ArgClock is an optional Clock extension: closure-free scheduling of a
+// long-lived handler with a per-event argument. Hosts probe for it once at
+// construction and use it to run crash-guarded timers through pooled records
+// instead of a fresh closure per timer. *sim.Kernel implements it.
+type ArgClock interface {
+	// ScheduleArg runs fn(arg) after the given delay, ordered exactly like
+	// Schedule.
+	ScheduleArg(delay sim.Time, fn sim.ArgHandler, arg any) sim.Timer
+}
+
+// BatchClock is an optional Clock extension: same-instant callbacks are
+// coalesced into one kernel event that runs them in registration order (see
+// sim.Kernel.AtBatched for the exact ordering contract). Protocol phase
+// schedules use it so an epoch boundary costs one event, not one per host.
+type BatchClock interface {
+	// AtBatched runs fn(arg) at the absolute time at; no cancellation handle
+	// is returned, so callbacks must guard themselves.
+	AtBatched(at sim.Time, fn sim.ArgHandler, arg any)
+}
+
+// Compile-time checks: the simulation kernel is a Runtime with both optional
+// scheduling extensions, and *rand.Rand is a Rand.
 var (
-	_ Runtime = (*sim.Kernel)(nil)
-	_ Rand    = (*rand.Rand)(nil)
+	_ Runtime    = (*sim.Kernel)(nil)
+	_ ArgClock   = (*sim.Kernel)(nil)
+	_ BatchClock = (*sim.Kernel)(nil)
+	_ Rand       = (*rand.Rand)(nil)
 )
 
 // Receiver is the surface a host exposes to a transport.

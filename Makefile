@@ -1,22 +1,45 @@
 GO ?= go
 
-.PHONY: check vet lint fmt-check build test race benchsmoke benchcmp scale-smoke baseline-smoke par-smoke fuzz-smoke live-smoke conformance bench fmt
+.PHONY: check vet lint lint-test allow-gate fmt-check build test race benchsmoke benchcmp scale-smoke baseline-smoke par-smoke fuzz-smoke live-smoke conformance bench fmt
 
 ## check: the pre-PR gate. Run this before sending any change for review.
-check: vet lint fmt-check build test race benchsmoke benchcmp scale-smoke baseline-smoke par-smoke fuzz-smoke live-smoke
+check: vet lint lint-test allow-gate fmt-check build test race benchsmoke benchcmp scale-smoke baseline-smoke par-smoke fuzz-smoke live-smoke
 	@echo "check: all gates passed"
 
 vet:
 	$(GO) vet ./...
 
 ## lint: the repo's own analyzers (cmd/fdslint) — walltime, detmap,
-## deliverretain, scratchalias — which machine-check the simulator's
-## determinism and message-lifetime invariants. Runs through `go vet
-## -vettool`, so package loading, caching, and diagnostics follow vet
-## conventions. See DESIGN.md "Determinism & lifetime invariants".
+## deliverretain, scratchalias, arenaescape, floatfold, stripshare,
+## rngdraw — which machine-check the simulator's determinism, arena
+## ownership, strip isolation, and message-lifetime invariants. Runs
+## through `go vet -vettool`, so package loading, caching, and diagnostics
+## follow vet conventions. See DESIGN.md "Determinism & lifetime
+## invariants". `bin/fdslint -json ./...` / `-github` emit machine-readable
+## findings.
 lint:
 	$(GO) build -o bin/fdslint ./cmd/fdslint
 	$(GO) vet -vettool=bin/fdslint ./...
+
+## lint-test: the analyzers' own test suite — every analyzer's
+## firing/non-firing/suppression fixtures plus the lintest runner's
+## self-tests. Separate from `test` so an analyzer regression is visible
+## as its own gate.
+lint-test:
+	$(GO) test ./internal/lint/...
+
+## allow-gate: the suppression budget. Policy since PR 5: zero
+## //lint:allow in the tree — when an analyzer misfires, the analyzer is
+## strengthened to prove the pattern safe, not waived. The pattern skips
+## doc comments and string literals (no quote or slash may precede the
+## directive on the line) and the fixture trees, where directives are the
+## test subject.
+allow-gate:
+	@bad="$$(grep -rEn --include='*.go' '^[^"/]*//lint:allow' . | grep -v '/testdata/' || true)"; \
+	if [ -n "$$bad" ]; then \
+		echo "allow-gate: //lint:allow suppressions found (policy: zero — strengthen the analyzer instead):"; \
+		echo "$$bad"; exit 1; fi; \
+	echo "allow-gate: zero //lint:allow suppressions in the tree"
 
 ## fmt-check: fails (listing the offenders) if any file is not gofmt-clean.
 fmt-check:

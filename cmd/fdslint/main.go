@@ -20,9 +20,23 @@
 //
 // Diagnostics are printed as file:line:col: message [analyzer]; the exit
 // status is 2 when any diagnostic is reported, matching vet convention.
+//
+// Standalone mode additionally supports two machine-readable formats:
+//
+//	fdslint -json ./...      a single JSON array of {file,line,col,analyzer,
+//	                         message} objects on stdout, sorted by position
+//	fdslint -github ./...    GitHub Actions ::error annotations, same order
+//
+// Both work by setting FDSLINT_FORMAT=json in the re-exec'd go vet's
+// environment: each unit-checker child emits JSON-lines diagnostics on
+// stderr, the parent collects and sorts them globally. The format variable
+// is folded into the -V=full build ID so the vet result cache distinguishes
+// plain from machine-readable runs.
 package main
 
 import (
+	"bufio"
+	"bytes"
 	"crypto/sha256"
 	"encoding/json"
 	"fmt"
@@ -36,12 +50,17 @@ import (
 	"os/exec"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
 
 	"clusterfds/internal/lint"
+	"clusterfds/internal/lint/arenaescape"
 	"clusterfds/internal/lint/deliverretain"
 	"clusterfds/internal/lint/detmap"
+	"clusterfds/internal/lint/floatfold"
+	"clusterfds/internal/lint/rngdraw"
 	"clusterfds/internal/lint/scratchalias"
+	"clusterfds/internal/lint/stripshare"
 	"clusterfds/internal/lint/walltime"
 )
 
@@ -51,6 +70,10 @@ var analyzers = []*lint.Analyzer{
 	detmap.Analyzer,
 	deliverretain.Analyzer,
 	scratchalias.Analyzer,
+	arenaescape.Analyzer,
+	floatfold.Analyzer,
+	stripshare.Analyzer,
+	rngdraw.Analyzer,
 }
 
 func main() {
@@ -83,8 +106,10 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: fdslint [package pattern...]\n")
+	fmt.Fprintf(os.Stderr, "usage: fdslint [-json|-github] [package pattern...]\n")
 	fmt.Fprintf(os.Stderr, "       go vet -vettool=$(which fdslint) [package pattern...]\n\n")
+	fmt.Fprintf(os.Stderr, "  -json    print diagnostics as a sorted JSON array on stdout\n")
+	fmt.Fprintf(os.Stderr, "  -github  print diagnostics as GitHub Actions ::error annotations\n\n")
 	fmt.Fprintf(os.Stderr, "Registered analyzers:\n\n")
 	for _, a := range analyzers {
 		doc := a.Doc
@@ -99,6 +124,9 @@ func usage() {
 // printVersion emits the -V=full line the go command uses to fingerprint a
 // vettool for build caching. The content hash of the executable stands in
 // for a real build ID; any change to the binary invalidates cached results.
+// FDSLINT_FORMAT is folded in so plain and machine-readable runs occupy
+// distinct cache entries — a cached "clean" from one format would otherwise
+// silently swallow the other's output.
 func printVersion() {
 	name := filepath.Base(os.Args[0])
 	exe, err := os.Executable()
@@ -111,29 +139,128 @@ func printVersion() {
 		fmt.Printf("%s version devel\n", name)
 		return
 	}
-	sum := sha256.Sum256(data)
+	sum := sha256.Sum256(append(data, []byte(os.Getenv("FDSLINT_FORMAT"))...))
 	fmt.Printf("%s version devel buildID=%x\n", name, sum)
 }
 
+// diagJSON is one diagnostic in machine-readable form.
+type diagJSON struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 // runStandalone re-invokes go vet with this executable as the vettool.
+// With -json or -github the children are switched to JSON-lines output and
+// their diagnostics are collected, sorted, and re-emitted in the requested
+// format.
 func runStandalone(args []string) int {
 	self, err := os.Executable()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "fdslint: cannot locate own executable: %v\n", err)
 		return 1
 	}
-	if len(args) == 0 {
-		args = []string{"./..."}
+	var jsonOut, githubOut bool
+	patterns := make([]string, 0, len(args))
+	for _, a := range args {
+		switch a {
+		case "-json", "--json":
+			jsonOut = true
+		case "-github", "--github":
+			githubOut = true
+		default:
+			patterns = append(patterns, a)
+		}
 	}
-	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, args...)...)
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, patterns...)...)
 	cmd.Stdout = os.Stdout
-	cmd.Stderr = os.Stderr
 	cmd.Stdin = os.Stdin
-	if err := cmd.Run(); err != nil {
-		if ee, ok := err.(*exec.ExitError); ok {
+	if !jsonOut && !githubOut {
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			if ee, ok := err.(*exec.ExitError); ok {
+				return ee.ExitCode()
+			}
+			fmt.Fprintf(os.Stderr, "fdslint: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
+	cmd.Env = append(os.Environ(), "FDSLINT_FORMAT=json")
+	var buf bytes.Buffer
+	cmd.Stderr = &buf
+	runErr := cmd.Run()
+
+	// Children emit one JSON object per diagnostic line; everything else on
+	// stderr is go vet chrome ("# pkg" headers) or a real error. Forward the
+	// errors, drop the chrome, sort the diagnostics globally for a stable
+	// cross-package order.
+	var diags []diagJSON
+	sc := bufio.NewScanner(&buf)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		var d diagJSON
+		if strings.HasPrefix(line, "{") && json.Unmarshal([]byte(line), &d) == nil && d.File != "" {
+			diags = append(diags, d)
+			continue
+		}
+		if strings.HasPrefix(line, "#") || strings.TrimSpace(line) == "" {
+			continue
+		}
+		fmt.Fprintln(os.Stderr, line)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+
+	switch {
+	case jsonOut:
+		out, err := json.MarshalIndent(diags, "", "\t")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fdslint: %v\n", err)
+			return 1
+		}
+		if diags == nil {
+			out = []byte("[]")
+		}
+		fmt.Printf("%s\n", out)
+	case githubOut:
+		for _, d := range diags {
+			// The annotation message is display-only; GitHub's parser only
+			// needs commas and newlines escaped in the properties.
+			fmt.Printf("::error file=%s,line=%d,col=%d,title=fdslint %s::%s [%s]\n",
+				d.File, d.Line, d.Col, d.Analyzer, d.Message, d.Analyzer)
+		}
+	}
+
+	if len(diags) > 0 {
+		return 2
+	}
+	if runErr != nil {
+		if ee, ok := runErr.(*exec.ExitError); ok {
 			return ee.ExitCode()
 		}
-		fmt.Fprintf(os.Stderr, "fdslint: %v\n", err)
+		fmt.Fprintf(os.Stderr, "fdslint: %v\n", runErr)
 		return 1
 	}
 	return 0
@@ -199,6 +326,7 @@ func runUnit(cfgPath string) int {
 		return 1
 	}
 
+	jsonLines := os.Getenv("FDSLINT_FORMAT") == "json"
 	exit := 0
 	for _, a := range analyzers {
 		diags, err := lint.Run(a, unit)
@@ -207,7 +335,20 @@ func runUnit(cfgPath string) int {
 			return 1
 		}
 		for _, d := range diags {
-			fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", unit.Fset.Position(d.Pos), d.Message, a.Name)
+			pos := unit.Fset.Position(d.Pos)
+			if jsonLines {
+				enc, err := json.Marshal(diagJSON{
+					File: pos.Filename, Line: pos.Line, Col: pos.Column,
+					Analyzer: a.Name, Message: d.Message,
+				})
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "fdslint: %s: %v\n", a.Name, err)
+					return 1
+				}
+				fmt.Fprintf(os.Stderr, "%s\n", enc)
+			} else {
+				fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", pos, d.Message, a.Name)
+			}
 			exit = 2
 		}
 	}

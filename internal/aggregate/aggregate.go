@@ -317,17 +317,16 @@ func (p *Protocol) ClusterPartial(e wire.Epoch) (Stat, bool) {
 }
 
 // Global combines every cluster partial known for the given epoch into the
-// network-wide aggregate, and reports how many clusters contributed.
+// network-wide aggregate, and reports how many clusters contributed. Partials
+// are folded in sorted-origin order: Sum is a float accumulation, so map
+// iteration order would make the low bits of the global vary run to run.
 func (p *Protocol) Global(e wire.Epoch) (Stat, int) {
 	var total Stat
-	clusters := 0
-	for k, s := range p.partials {
-		if k.epoch == e {
-			total.Combine(s)
-			clusters++
-		}
+	origins := p.Origins(e)
+	for _, o := range origins {
+		total.Combine(p.partials[aggKey{origin: o, epoch: e}])
 	}
-	return total, clusters
+	return total, len(origins)
 }
 
 // Origins returns the clusterheads whose partials are known for the epoch,

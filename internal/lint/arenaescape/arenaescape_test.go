@@ -1,0 +1,52 @@
+package arenaescape_test
+
+import (
+	"strings"
+	"testing"
+
+	"clusterfds/internal/lint"
+	"clusterfds/internal/lint/arenaescape"
+	"clusterfds/internal/lint/lintest"
+)
+
+func TestArenaEscape(t *testing.T) {
+	lintest.Run(t, "testdata", arenaescape.Analyzer,
+		"clusterfds/internal/cluster",
+	)
+}
+
+// TestInterprocCatchesCrossFunctionRetention pins the tentpole property:
+// the cross-function retention fixtures (a store hidden behind one helper
+// call) are invisible to the old intra-procedural semantics and caught by
+// the interprocedural summary layer at the call site.
+func TestInterprocCatchesCrossFunctionRetention(t *testing.T) {
+	u := lintest.Load(t, "testdata", "clusterfds/internal/cluster")
+
+	crossFunction := func(diags []lint.Diagnostic) (byKeep, byPublish bool) {
+		for _, d := range diags {
+			if strings.Contains(d.Message, "by keep") {
+				byKeep = true
+			}
+			if strings.Contains(d.Message, "passed to publish") {
+				byPublish = true
+			}
+		}
+		return
+	}
+
+	old, err := lint.Run(arenaescape.NewAnalyzer(false), u)
+	if err != nil {
+		t.Fatalf("intra-procedural run: %v", err)
+	}
+	if k, p := crossFunction(old); k || p {
+		t.Errorf("intra-procedural engine unexpectedly caught the cross-function fixtures (keep=%v publish=%v); the fixtures no longer demonstrate the summary layer", k, p)
+	}
+
+	cur, err := lint.Run(arenaescape.NewAnalyzer(true), u)
+	if err != nil {
+		t.Fatalf("interprocedural run: %v", err)
+	}
+	if k, p := crossFunction(cur); !k || !p {
+		t.Errorf("interprocedural engine missed a cross-function retention fixture (keep=%v publish=%v)", k, p)
+	}
+}

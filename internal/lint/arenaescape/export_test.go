@@ -1,0 +1,5 @@
+package arenaescape
+
+// NewAnalyzer exposes the interproc toggle so the tests can demonstrate the
+// cross-function retention bug the old intra-procedural semantics miss.
+var NewAnalyzer = newAnalyzer

@@ -1,0 +1,14 @@
+package floatfold_test
+
+import (
+	"testing"
+
+	"clusterfds/internal/lint/floatfold"
+	"clusterfds/internal/lint/lintest"
+)
+
+func TestFloatFold(t *testing.T) {
+	lintest.Run(t, "testdata", floatfold.Analyzer,
+		"clusterfds/internal/par",
+	)
+}

@@ -201,6 +201,7 @@ var deterministicDirs = []string{
 	"sim", "fds", "radio", "cluster", "intercluster",
 	"membership", "sleep", "mobility", "scenario", "montecarlo", "shard",
 	"transport", "daemon", "conformance", "baseline",
+	"par", "dense", "node", "wire", "aggregate",
 }
 
 // DeterministicPackage reports whether the import path names one of the

@@ -4,9 +4,15 @@
 //
 //	x = m // want `regexp`
 //
-// (backquoted or double-quoted Go strings; several per line allowed). Run
-// type-checks the fixture package — resolving imports first against the
-// fixture tree, then against the compiled standard library — runs the
+// (backquoted or double-quoted Go strings; several per line allowed). A
+// want comment alone on its line attaches to the line above it — for
+// flagged lines too long to carry a trailing comment:
+//
+//	x = someVeryLongExpression(a, b, c)
+//	// want `regexp`
+//
+// Run type-checks the fixture package — resolving imports first against
+// the fixture tree, then against the compiled standard library — runs the
 // analyzer through the framework's suppression filter, and fails the test
 // on any mismatch in either direction.
 package lintest
@@ -54,6 +60,25 @@ func Run(t *testing.T, dir string, a *lint.Analyzer, pkgPaths ...string) {
 			check(t, ld.fset, u, diags)
 		})
 	}
+}
+
+// Load type-checks one fixture package below dir (conventionally
+// "testdata") and returns its unit, for tests that drive an analyzer — or
+// an analyzer variant — through lint.Run directly instead of comparing
+// against // want comments.
+func Load(t *testing.T, dir, pkgPath string) *lint.Unit {
+	t.Helper()
+	ld := &loader{
+		root: filepath.Join(dir, "src"),
+		fset: token.NewFileSet(),
+		pkgs: make(map[string]*pkgUnit),
+		std:  importer.Default(),
+	}
+	u, err := ld.load(pkgPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgPath, err)
+	}
+	return u.unit()
 }
 
 type pkgUnit struct {
@@ -149,6 +174,33 @@ type expectation struct {
 
 func check(t *testing.T, fset *token.FileSet, u *pkgUnit, diags []lint.Diagnostic) {
 	t.Helper()
+	srcLines := make(map[string][]string)
+	// wantLine resolves which source line a want comment annotates: its own
+	// line for a trailing comment, the line above for a pure `// want ...`
+	// comment that is the only thing on its line. Comments that merely embed
+	// a want after other text (a //lint:allow directive under test) stay on
+	// their own line — the directive itself is what gets diagnosed there.
+	wantLine := func(pos token.Position, text string) int {
+		if !strings.HasPrefix(strings.TrimSpace(strings.TrimPrefix(text, "//")), "want") {
+			return pos.Line
+		}
+		lines, ok := srcLines[pos.Filename]
+		if !ok {
+			data, err := os.ReadFile(pos.Filename)
+			if err != nil {
+				t.Fatalf("reading fixture %s: %v", pos.Filename, err)
+			}
+			lines = strings.Split(string(data), "\n")
+			srcLines[pos.Filename] = lines
+		}
+		if pos.Line > 1 && pos.Line-1 < len(lines) {
+			line := lines[pos.Line-1]
+			if pos.Column-1 <= len(line) && strings.TrimSpace(line[:pos.Column-1]) == "" {
+				return pos.Line - 1
+			}
+		}
+		return pos.Line
+	}
 	var wants []*expectation
 	for _, f := range u.files {
 		for _, cg := range f.Comments {
@@ -168,7 +220,7 @@ func check(t *testing.T, fset *token.FileSet, u *pkgUnit, diags []lint.Diagnosti
 						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
 					}
 					wants = append(wants, &expectation{
-						file: pos.Filename, line: pos.Line, re: re, raw: pat,
+						file: pos.Filename, line: wantLine(pos, c.Text), re: re, raw: pat,
 					})
 				}
 			}

@@ -1,0 +1,23 @@
+// Package allowfix exercises //lint:allow placement: a justified directive
+// trailing the flagged line, a justified directive on the preceding line,
+// and the bare form — which suppresses nothing and is itself a diagnostic.
+package allowfix
+
+func trailing() int {
+	n := 0
+	n++ //lint:allow probe -- fixture: suppressed on the same line
+	return n
+}
+
+func preceding() int {
+	n := 0
+	//lint:allow probe -- fixture: suppressed from the line above
+	n++
+	return n
+}
+
+func bare() int {
+	n := 0
+	n++ //lint:allow probe // want `increment or decrement of n` `needs a justification`
+	return n
+}

@@ -1,0 +1,9 @@
+// Package probefix is the lintest self-test fixture, spread over two files
+// to prove wants and diagnostics pair up per file.
+package probefix
+
+func fileA() int {
+	n := 0
+	n++ // want `increment or decrement of n`
+	return n
+}

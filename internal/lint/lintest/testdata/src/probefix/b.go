@@ -1,0 +1,11 @@
+package probefix
+
+func fileB() int {
+	m := 0
+	m-- // want `increment or decrement of m`
+	m++
+	// want `increment or decrement of m`
+	q := 0
+	q++ // want "increment or decrement of q"
+	return m + q
+}

@@ -1,0 +1,14 @@
+package rngdraw_test
+
+import (
+	"testing"
+
+	"clusterfds/internal/lint/lintest"
+	"clusterfds/internal/lint/rngdraw"
+)
+
+func TestRngDraw(t *testing.T) {
+	lintest.Run(t, "testdata", rngdraw.Analyzer,
+		"clusterfds/internal/shard",
+	)
+}

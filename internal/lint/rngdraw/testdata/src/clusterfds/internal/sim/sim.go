@@ -1,0 +1,18 @@
+// Package sim is the rngdraw fixture stub for the per-host stream type;
+// the analyzer matches Stream by name and import-path suffix.
+package sim
+
+type Stream struct{ s uint64 }
+
+func (s *Stream) Uint64() uint64 {
+	s.s = s.s*6364136223846793005 + 1442695040888963407
+	return s.s
+}
+
+func (s *Stream) Int63n(n int64) int64 {
+	return int64(s.Uint64()>>1) % n
+}
+
+func (s *Stream) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}

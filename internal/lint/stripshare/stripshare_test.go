@@ -1,0 +1,14 @@
+package stripshare_test
+
+import (
+	"testing"
+
+	"clusterfds/internal/lint/lintest"
+	"clusterfds/internal/lint/stripshare"
+)
+
+func TestStripShare(t *testing.T) {
+	lintest.Run(t, "testdata", stripshare.Analyzer,
+		"clusterfds/internal/par",
+	)
+}

@@ -36,13 +36,29 @@ type TaintEngine struct {
 	// What is the noun used in diagnostics, e.g. "delivered message".
 	What string
 
+	// Lifetime describes the validity window in diagnostics; it defaults
+	// to "during the call" (the Deliver/decode window). arenaescape sets
+	// "until the arena's next generation flip".
+	Lifetime string
+
 	// TaintedCall, if non-nil, reports whether a call's results are tainted
 	// regardless of argument taint (e.g. wire.DecodeInto).
 	TaintedCall func(call *ast.CallExpr) bool
 
+	// TaintedSource, if non-nil, marks expressions that are taint sources
+	// wherever they are read (e.g. a bump-arena field: sh.arena). It is
+	// consulted before the engine's own expression rules.
+	TaintedSource func(x ast.Expr) bool
+
 	// ReturnsTaint, if non-nil, reports whether calls to fn yield tainted
 	// results (fed back from a previous fixpoint iteration).
 	ReturnsTaint func(fn *types.Func) bool
+
+	// ReturnsTaintCall, if non-nil, reports whether one specific call
+	// yields a tainted result, given a predicate for call-site expression
+	// taint — so a per-function summary can be consulted per argument
+	// (context-sensitively), unlike the coarser ReturnsTaint.
+	ReturnsTaintCall func(call *ast.CallExpr, tainted func(ast.Expr) bool) bool
 
 	// OnArgTaint, if non-nil, is invoked when a tainted value is passed as
 	// an argument (or receiver) of a statically resolved call, so the
@@ -50,9 +66,55 @@ type TaintEngine struct {
 	// calls the engine already understands (append, copy, delete, len...).
 	OnArgTaint func(callee *types.Func, param *types.Var, arg ast.Expr)
 
+	// OnCallTaint, if non-nil, is invoked alongside OnArgTaint with the
+	// full call expression and the callee input index (receiver first, see
+	// Inputs), so analyzers can judge the call site against an
+	// interprocedural summary of the callee.
+	OnCallTaint func(call *ast.CallExpr, callee *types.Func, input int, arg ast.Expr)
+
+	// OnEscape, if non-nil, observes every escape before it is reported:
+	// target is the store target / sent value / captured identifier, and
+	// root is the resolved base object of a store target (nil otherwise).
+	// Returning false accepts the escape as proved safe — nothing is
+	// reported — which is how arenaescape admits owner-rooted stores and
+	// how Summarize classifies escapes without reporting them.
+	OnEscape func(kind EscapeKind, pos token.Pos, target ast.Expr, root types.Object) bool
+
 	// Report, if non-nil, receives escape findings. When nil, findings go
 	// to Pass.Reportf.
 	Report func(pos token.Pos, format string, args ...any)
+}
+
+// EscapeKind classifies how a tainted value leaves its validity window.
+type EscapeKind int
+
+const (
+	// EscapeStore is a store into a non-local lvalue (field, element, or
+	// pointer dereference whose base is not provably frame-local).
+	EscapeStore EscapeKind = iota
+	// EscapePkgVar is a store into a package-level variable.
+	EscapePkgVar
+	// EscapeSend is a channel send.
+	EscapeSend
+	// EscapeGo is a value passed to (or captured by) a goroutine.
+	EscapeGo
+	// EscapeClosure is a capture by a closure that may outlive the window.
+	EscapeClosure
+)
+
+func (e *TaintEngine) lifetime() string {
+	if e.Lifetime != "" {
+		return e.Lifetime
+	}
+	return "during the call"
+}
+
+// escapes consults OnEscape; true means the escape must be reported.
+func (s *funcState) escapes(kind EscapeKind, pos token.Pos, target ast.Expr, root types.Object) bool {
+	if s.e.OnEscape == nil {
+		return true
+	}
+	return s.e.OnEscape(kind, pos, target, root)
 }
 
 func (e *TaintEngine) reportf(pos token.Pos, format string, args ...any) {
@@ -145,8 +207,8 @@ func (s *funcState) walkBody(body *ast.BlockStmt, report reportFn) {
 			}
 			return false
 		case *ast.SendStmt:
-			if s.taintedExpr(n.Value) {
-				report(n.Value.Pos(), "%s (or memory reachable from it) sent on a channel; it is only valid during the call — copy it first", s.e.What)
+			if s.taintedExpr(n.Value) && s.escapes(EscapeSend, n.Value.Pos(), n.Value, nil) {
+				report(n.Value.Pos(), "%s (or memory reachable from it) sent on a channel; it is only valid %s — copy it first", s.e.What, s.e.lifetime())
 			}
 			s.expr(n.Value, report)
 			return false
@@ -253,8 +315,8 @@ func (s *funcState) funcLit(lit *ast.FuncLit, report reportFn, invokedNow bool) 
 			return true
 		}
 		obj := info.Uses[id]
-		if obj != nil && s.tainted[obj] && s.objTainted(obj) {
-			report(id.Pos(), "%s captured by a closure that may outlive the call; it is only valid during the call — copy what the closure needs", s.e.What)
+		if obj != nil && s.tainted[obj] && s.objTainted(obj) && s.escapes(EscapeClosure, id.Pos(), id, obj) {
+			report(id.Pos(), "%s captured by a closure that may outlive the call; it is only valid %s — copy what the closure needs", s.e.What, s.e.lifetime())
 		}
 		return true
 	})
@@ -288,8 +350,8 @@ func (s *funcState) callArgs(call *ast.CallExpr, report reportFn, isGo bool) {
 	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
 		s.funcLit(lit, report, !isGo)
 		for _, a := range call.Args {
-			if s.taintedExpr(a) && isGo {
-				report(a.Pos(), "%s passed to a goroutine; it is only valid during the call — copy it first", s.e.What)
+			if s.taintedExpr(a) && isGo && s.escapes(EscapeGo, a.Pos(), a, nil) {
+				report(a.Pos(), "%s passed to a goroutine; it is only valid %s — copy it first", s.e.What, s.e.lifetime())
 			}
 			s.expr(a, report)
 		}
@@ -299,10 +361,16 @@ func (s *funcState) callArgs(call *ast.CallExpr, report reportFn, isGo bool) {
 	callee := PkgFunc(info, call)
 	sig, _ := info.TypeOf(call.Fun).(*types.Signature)
 
-	// Receiver of a resolved method call.
-	if callee != nil && sig != nil && sig.Recv() != nil {
-		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && s.taintedExpr(sel.X) {
-			s.argTaint(callee, sig.Recv(), sel.X, report, isGo)
+	// Receiver of a resolved method call. The call-site signature is the
+	// method-value form (Recv() == nil), so receiver presence comes from
+	// the callee's own declared signature.
+	recvOff := 0
+	if callee != nil {
+		if csig, ok := callee.Type().(*types.Signature); ok && csig.Recv() != nil {
+			recvOff = 1
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && s.taintedExpr(sel.X) {
+				s.argTaint(call, callee, csig.Recv(), 0, sel.X, report, isGo)
+			}
 		}
 	}
 	for i, a := range call.Args {
@@ -314,29 +382,39 @@ func (s *funcState) callArgs(call *ast.CallExpr, report reportFn, isGo bool) {
 		}
 		if s.taintedExpr(a) {
 			var param *types.Var
+			input := i + recvOff
 			if sig != nil && sig.Params() != nil {
 				if i < sig.Params().Len() {
 					param = sig.Params().At(i)
 				} else if sig.Variadic() && sig.Params().Len() > 0 {
 					param = sig.Params().At(sig.Params().Len() - 1)
+					input = sig.Params().Len() - 1 + recvOff
 				}
 			}
-			s.argTaint(callee, param, a, report, isGo)
+			s.argTaint(call, callee, param, input, a, report, isGo)
 		}
 		s.expr(a, report)
 	}
 }
 
-func (s *funcState) argTaint(callee *types.Func, param *types.Var, arg ast.Expr, report reportFn, isGo bool) {
+func (s *funcState) argTaint(call *ast.CallExpr, callee *types.Func, param *types.Var, input int, arg ast.Expr, report reportFn, isGo bool) {
 	if isGo {
-		report(arg.Pos(), "%s passed to a goroutine; it is only valid during the call — copy it first", s.e.What)
+		if s.escapes(EscapeGo, arg.Pos(), arg, nil) {
+			report(arg.Pos(), "%s passed to a goroutine; it is only valid %s — copy it first", s.e.What, s.e.lifetime())
+		}
 		return
 	}
-	if s.e.OnArgTaint != nil && callee != nil && param != nil && RetainsMemory(param.Type()) {
-		s.e.OnArgTaint(callee, param, arg)
+	if callee != nil && param != nil && RetainsMemory(param.Type()) {
+		if s.e.OnArgTaint != nil {
+			s.e.OnArgTaint(callee, param, arg)
+		}
+		if s.e.OnCallTaint != nil {
+			s.e.OnCallTaint(call, callee, input, arg)
+		}
 	}
 	// A synchronous call finishes inside the window, so passing taint down
-	// is fine by itself; the callee is analyzed separately via OnArgTaint.
+	// is fine by itself; the callee is analyzed separately via OnArgTaint
+	// or judged at the call site against its summary via OnCallTaint.
 }
 
 // assign classifies each lhs/rhs pair of an assignment.
@@ -425,7 +503,9 @@ func (s *funcState) taintLValue(l ast.Expr, r ast.Expr, report reportFn) {
 			return
 		}
 		if obj.Parent() == obj.Pkg().Scope() {
-			report(l.Pos(), "%s stored in package variable %s; it is only valid during the call — copy it first", s.e.What, l.Name)
+			if s.escapes(EscapePkgVar, l.Pos(), l, obj) {
+				report(l.Pos(), "%s stored in package variable %s; it is only valid %s — copy it first", s.e.What, l.Name, s.e.lifetime())
+			}
 			return
 		}
 		s.tainted[obj] = true
@@ -450,7 +530,9 @@ func (s *funcState) taintLValue(l ast.Expr, r ast.Expr, report reportFn) {
 			}
 			return
 		}
-		report(l.Pos(), "%s stored in %s; it is only valid during the call — copy the retained parts (see radio.Medium's delivery contract)", s.e.What, lvalueDesc(l))
+		if s.escapes(EscapeStore, l.Pos(), l, root) {
+			report(l.Pos(), "%s stored in %s; it is only valid %s — copy the retained parts (see radio.Medium's delivery contract)", s.e.What, lvalueDesc(l), s.e.lifetime())
+		}
 	case *ast.IndexExpr:
 		root, local := s.localRoot(l.X)
 		if local {
@@ -459,7 +541,9 @@ func (s *funcState) taintLValue(l ast.Expr, r ast.Expr, report reportFn) {
 			}
 			return
 		}
-		report(l.Pos(), "%s stored in %s; it is only valid during the call — copy it first", s.e.What, lvalueDesc(l))
+		if s.escapes(EscapeStore, l.Pos(), l, root) {
+			report(l.Pos(), "%s stored in %s; it is only valid %s — copy it first", s.e.What, lvalueDesc(l), s.e.lifetime())
+		}
 	case *ast.StarExpr:
 		root, local := s.localRoot(l.X)
 		if local {
@@ -468,7 +552,9 @@ func (s *funcState) taintLValue(l ast.Expr, r ast.Expr, report reportFn) {
 			}
 			return
 		}
-		report(l.Pos(), "%s stored through pointer %s; it is only valid during the call — copy it first", s.e.What, lvalueDesc(l))
+		if s.escapes(EscapeStore, l.Pos(), l, root) {
+			report(l.Pos(), "%s stored through pointer %s; it is only valid %s — copy it first", s.e.What, lvalueDesc(l), s.e.lifetime())
+		}
 	}
 }
 
@@ -551,6 +637,9 @@ func (s *funcState) objTainted(obj types.Object) bool {
 // window-bounded memory alive.
 func (s *funcState) taintedExpr(x ast.Expr) bool {
 	info := s.e.Pass.TypesInfo
+	if s.e.TaintedSource != nil && s.e.TaintedSource(x) {
+		return true
+	}
 	switch e := ast.Unparen(x).(type) {
 	case *ast.Ident:
 		obj := info.Uses[e]
@@ -655,6 +744,9 @@ func (s *funcState) taintedCall(call *ast.CallExpr) bool {
 			return true
 		}
 	}
+	if s.e.ReturnsTaintCall != nil && s.e.ReturnsTaintCall(call, s.taintedExpr) {
+		return true
+	}
 	return false
 }
 
@@ -690,6 +782,10 @@ func lvalueDesc(e ast.Expr) string {
 		return exprString(e)
 	}
 }
+
+// ExprString renders an expression chain for diagnostics (p.arena.cur,
+// sh.out[...]). Analyzer packages use it to name call-site expressions.
+func ExprString(e ast.Expr) string { return exprString(e) }
 
 func exprString(e ast.Expr) string {
 	switch e := e.(type) {
